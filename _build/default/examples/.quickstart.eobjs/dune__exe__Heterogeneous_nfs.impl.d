@@ -1,0 +1,1 @@
+examples/heterogeneous_nfs.ml: Base_workload Printf

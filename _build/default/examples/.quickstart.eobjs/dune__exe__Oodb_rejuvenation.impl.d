@@ -1,0 +1,1 @@
+examples/oodb_rejuvenation.ml: Array Base_bft Base_core Base_crypto Base_oodb Base_sim Format Int64 List Printf String

@@ -1,0 +1,1 @@
+examples/oodb_rejuvenation.mli:

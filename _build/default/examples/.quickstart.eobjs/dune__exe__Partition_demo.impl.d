@@ -1,0 +1,1 @@
+examples/partition_demo.ml: Base_core Base_nfs Base_sim Base_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Base_bft Base_codec Base_core List Printf String

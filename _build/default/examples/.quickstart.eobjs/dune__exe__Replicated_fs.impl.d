@@ -1,0 +1,1 @@
+examples/replicated_fs.ml: Array Base_core Base_crypto Base_fs Base_nfs Base_workload Format Int64 List Printf

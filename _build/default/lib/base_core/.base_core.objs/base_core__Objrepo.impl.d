@@ -1,0 +1,1 @@
+lib/base_core/objrepo.ml: Base_crypto Hashtbl List Partition_tree Service String

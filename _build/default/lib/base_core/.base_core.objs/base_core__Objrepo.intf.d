@@ -1,0 +1,1 @@
+lib/base_core/objrepo.mli: Base_crypto Hashtbl Partition_tree Service

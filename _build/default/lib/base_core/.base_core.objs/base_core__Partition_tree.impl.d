@@ -1,0 +1,1 @@
+lib/base_core/partition_tree.ml: Array Base_crypto List

@@ -1,0 +1,1 @@
+lib/base_core/partition_tree.mli: Base_crypto

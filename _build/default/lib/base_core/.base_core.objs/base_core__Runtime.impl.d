@@ -1,0 +1,1 @@
+lib/base_core/runtime.ml: Array Base_bft Base_crypto Base_sim Int64 Objrepo Option Printf Service State_transfer

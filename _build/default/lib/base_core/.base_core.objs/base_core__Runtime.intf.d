@@ -1,0 +1,1 @@
+lib/base_core/runtime.mli: Base_bft Base_crypto Base_sim Objrepo Service State_transfer

@@ -1,0 +1,1 @@
+lib/base_core/service.ml: Base_codec Base_crypto Int64 String

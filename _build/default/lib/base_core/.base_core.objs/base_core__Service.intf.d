@@ -1,0 +1,1 @@
+lib/base_core/service.mli: Base_crypto

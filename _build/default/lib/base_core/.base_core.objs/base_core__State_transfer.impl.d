@@ -1,0 +1,1 @@
+lib/base_core/state_transfer.ml: Array Base_codec Base_crypto Base_util Hashtbl List Objrepo Option Partition_tree Printf Service String

@@ -1,0 +1,1 @@
+lib/base_core/state_transfer.mli: Base_crypto Objrepo

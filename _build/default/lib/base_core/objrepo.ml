@@ -1,0 +1,106 @@
+module Digest = Base_crypto.Digest_t
+
+type checkpoint = {
+  seq : int;
+  tree : Partition_tree.t;
+  copies : (int, string) Hashtbl.t;
+  client_rows : (int * int64 * string) list;
+}
+
+type cow_stats = {
+  mutable objects_copied : int;
+  mutable bytes_copied : int;
+  mutable digests_recomputed : int;
+}
+
+type t = {
+  wrapper : Service.wrapper;
+  tree : Partition_tree.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable cps : checkpoint list;  (* oldest first *)
+  stats : cow_stats;
+}
+
+let refresh_leaf t i =
+  let data = t.wrapper.Service.get_obj i in
+  Partition_tree.set_leaf t.tree i (Service.object_digest i data);
+  t.stats.digests_recomputed <- t.stats.digests_recomputed + 1
+
+let create ~wrapper ~branching =
+  let t =
+    {
+      wrapper;
+      tree = Partition_tree.create ~n_leaves:wrapper.Service.n_objects ~branching;
+      dirty = Hashtbl.create 64;
+      cps = [];
+      stats = { objects_copied = 0; bytes_copied = 0; digests_recomputed = 0 };
+    }
+  in
+  for i = 0 to wrapper.Service.n_objects - 1 do
+    refresh_leaf t i
+  done;
+  t
+
+let wrapper t = t.wrapper
+
+let n_objects t = t.wrapper.Service.n_objects
+
+let modify t i =
+  if i < 0 || i >= n_objects t then invalid_arg "Objrepo.modify: bad object index";
+  List.iter
+    (fun cp ->
+      if not (Hashtbl.mem cp.copies i) then begin
+        let v = t.wrapper.Service.get_obj i in
+        Hashtbl.replace cp.copies i v;
+        t.stats.objects_copied <- t.stats.objects_copied + 1;
+        t.stats.bytes_copied <- t.stats.bytes_copied + String.length v
+      end)
+    t.cps;
+  Hashtbl.replace t.dirty i ()
+
+let flush_dirty t =
+  Hashtbl.iter (fun i () -> refresh_leaf t i) t.dirty;
+  Hashtbl.reset t.dirty
+
+let take_checkpoint t ~seq ~client_rows =
+  flush_dirty t;
+  let snapshot =
+    { seq; tree = Partition_tree.copy t.tree; copies = Hashtbl.create 16; client_rows }
+  in
+  (* Replace any previous checkpoint at the same seqno (re-checkpointing
+     after a state transfer lands on an already-known boundary). *)
+  t.cps <- List.filter (fun cp -> cp.seq <> seq) t.cps @ [ snapshot ];
+  Partition_tree.root snapshot.tree
+
+let discard_below t seq = t.cps <- List.filter (fun cp -> cp.seq >= seq) t.cps
+
+let checkpoints t = t.cps
+
+let find_checkpoint t ~seq = List.find_opt (fun cp -> cp.seq = seq) t.cps
+
+let object_at t ~seq i =
+  match find_checkpoint t ~seq with
+  | None -> None
+  | Some cp -> (
+    match Hashtbl.find_opt cp.copies i with
+    | Some v -> Some v
+    | None -> Some (t.wrapper.Service.get_obj i))
+
+let current_tree t =
+  flush_dirty t;
+  t.tree
+
+let current_root t = Partition_tree.root (current_tree t)
+
+let install t objs =
+  t.wrapper.Service.put_objs objs;
+  List.iter (fun (i, data) -> Partition_tree.set_leaf t.tree i (Service.object_digest i data)) objs;
+  List.iter (fun (i, _) -> Hashtbl.remove t.dirty i) objs
+
+let rebuild_all_digests t =
+  Hashtbl.reset t.dirty;
+  for i = 0 to n_objects t - 1 do
+    refresh_leaf t i
+  done
+
+let stats t = t.stats

@@ -1,0 +1,383 @@
+module Digest = Base_crypto.Digest_t
+module Engine = Base_sim.Engine
+module Sim_time = Base_sim.Sim_time
+module Types = Base_bft.Types
+module Message = Base_bft.Message
+module Replica = Base_bft.Replica
+module Client = Base_bft.Client
+module Auth = Base_crypto.Auth
+
+type msg =
+  | Bft of Message.envelope
+  | St of { from : int; body : State_transfer.msg }
+
+type recovery_stats = {
+  mutable recoveries : int;
+  mutable last_objects_fetched : int;
+  mutable last_bytes_fetched : int;
+  mutable total_objects_fetched : int;
+  mutable total_bytes_fetched : int;
+}
+
+type replica_node = {
+  rid : int;
+  replica : Replica.t;
+  repo : Objrepo.t;
+  wrapper : Service.wrapper;
+  mutable fetcher : State_transfer.t option;
+  mutable st_retries : int;
+  mutable recovering : bool;
+  recovery_stats : recovery_stats;
+}
+
+type t = {
+  engine : msg Engine.t;
+  config : Types.config;
+  chains : Auth.keychain array;
+  replicas : replica_node array;
+  clients : Client.t array;
+  orchestrator : int;  (** pseudo-node owning recovery watchdog timers *)
+  mutable recovery_period_us : int;
+  mutable reboot_us : int;
+  mutable recovery_on : bool;
+}
+
+let msg_size = function Bft env -> env.Message.size | St { body; _ } -> State_transfer.size body
+
+let msg_label = function
+  | Bft env -> Message.label env.Message.body
+  | St { body; _ } -> State_transfer.label body
+
+let engine t = t.engine
+
+let config t = t.config
+
+let replica t i = t.replicas.(i)
+
+let replicas t = t.replicas
+
+let client t i = t.clients.(i)
+
+let now t = Engine.now t.engine
+
+(* --- state-transfer plumbing --------------------------------------------- *)
+
+let st_broadcast t ~src body =
+  for r = 0 to t.config.n - 1 do
+    if r <> src then Engine.send t.engine ~src ~dst:r (St { from = src; body })
+  done
+
+let st_retry_period_us = 200_000
+
+(* Forward declaration hack: replica creation needs an app record whose
+   closures refer to the node being created. *)
+let start_fetch t node ~seq ~digest =
+  let fetcher =
+    State_transfer.start ~repo:node.repo ~target_seq:seq ~target_digest:digest
+      ~send:(fun body -> st_broadcast t ~src:node.rid body)
+      ~on_complete:(fun ~seq ~app_root ~client_rows ->
+        node.fetcher <- None;
+        (* Register the transferred checkpoint so this replica can serve it,
+           then resume the protocol. *)
+        let root = Objrepo.take_checkpoint node.repo ~seq ~client_rows in
+        if not (Digest.equal root app_root) then
+          failwith
+            (Printf.sprintf "replica %d: inverse abstraction diverged after state transfer"
+               node.rid);
+        Replica.fetch_complete node.replica ~seq ~app_digest:app_root ~client_rows)
+  in
+  if State_transfer.finished fetcher then ()
+  else begin
+    node.fetcher <- Some fetcher;
+    node.st_retries <- 0;
+    ignore
+      (Engine.set_timer t.engine ~node:node.rid ~after:(Sim_time.of_us st_retry_period_us)
+         ~tag:"st_retry" ~payload:0)
+  end
+
+let handle_st t node ~from body =
+  match body with
+  | State_transfer.Fetch_head _ | State_transfer.Fetch_meta _ | State_transfer.Fetch_obj _ -> (
+    match State_transfer.serve node.repo body with
+    | Some reply -> Engine.send t.engine ~src:node.rid ~dst:from (St { from = node.rid; body = reply })
+    | None -> ())
+  | State_transfer.Head_reply _ | State_transfer.Meta_reply _ | State_transfer.Obj_reply _ -> (
+    match node.fetcher with
+    | Some fetcher ->
+      let st = State_transfer.stats fetcher in
+      let bytes_before = st.State_transfer.bytes_fetched in
+      let objs_before = st.State_transfer.objects_fetched in
+      State_transfer.handle_reply fetcher body;
+      let bytes_delta = st.State_transfer.bytes_fetched - bytes_before in
+      let objs_delta = st.State_transfer.objects_fetched - objs_before in
+      node.recovery_stats.total_bytes_fetched <-
+        node.recovery_stats.total_bytes_fetched + bytes_delta;
+      node.recovery_stats.last_bytes_fetched <-
+        node.recovery_stats.last_bytes_fetched + bytes_delta;
+      node.recovery_stats.total_objects_fetched <-
+        node.recovery_stats.total_objects_fetched + objs_delta;
+      node.recovery_stats.last_objects_fetched <-
+        node.recovery_stats.last_objects_fetched + objs_delta
+    | None -> ())
+
+(* --- recovery -------------------------------------------------------------- *)
+
+let begin_reintegration t node =
+  (* The machine is back up: fresh session keys (stolen ones are now
+     useless), restart the implementation from its persistent state, and
+     recompute the abstraction function over the whole concrete state — the
+     depth-first traversal of Section 3.4. *)
+  Auth.refresh_keys t.chains node.rid;
+  node.wrapper.Service.restart ();
+  Objrepo.rebuild_all_digests node.repo;
+  node.recovery_stats.last_objects_fetched <- 0;
+  node.recovery_stats.last_bytes_fetched <- 0;
+  Replica.on_reboot node.replica;
+  (* Compare with the rest of the group and fetch only what differs.  If no
+     suitable certified checkpoint is known (quiet system, or the group is
+     behind us), the local state is deemed up to date until the next
+     checkpoint exposes any divergence. *)
+  (match Replica.fetch_target node.replica with
+  | Some (seq, digest) -> Replica.force_fetch node.replica ~seq ~digest
+  | None -> ());
+  node.recovering <- false
+
+let recover_now ?reboot_us t rid =
+  let reboot_us = Option.value reboot_us ~default:t.reboot_us in
+  let node = t.replicas.(rid) in
+  if not node.recovering then begin
+    node.recovering <- true;
+    node.recovery_stats.recoveries <- node.recovery_stats.recoveries + 1;
+    (* Abandon any in-flight fetch: its timers die with the reboot. *)
+    node.fetcher <- None;
+    Replica.abort_fetch node.replica;
+    (* Reboot: the node is unreachable while restarting. *)
+    Engine.set_node_up t.engine rid false;
+    ignore
+      (Engine.set_timer t.engine ~node:t.orchestrator ~after:(Sim_time.of_us reboot_us)
+         ~tag:"reboot_done" ~payload:rid)
+  end
+
+let on_orchestrator_timer t ~tag ~payload =
+  match tag with
+  | "watchdog" ->
+    if t.recovery_on then begin
+      recover_now t payload;
+      ignore
+        (Engine.set_timer t.engine ~node:t.orchestrator
+           ~after:(Sim_time.of_us t.recovery_period_us) ~tag:"watchdog" ~payload)
+    end
+  | "reboot_done" ->
+    let node = t.replicas.(payload) in
+    Engine.set_node_up t.engine payload true;
+    begin_reintegration t node
+  | _ -> ()
+
+let disable_proactive_recovery t = t.recovery_on <- false
+
+let enable_proactive_recovery ?(reboot_us = 2_000_000) ~period_us t =
+  t.recovery_period_us <- period_us;
+  t.reboot_us <- reboot_us;
+  t.recovery_on <- true;
+  (* Stagger: replica i's watchdog first fires at (i+1) * period / n, so
+     less than 1/3 of the replicas are ever recovering together. *)
+  Array.iter
+    (fun node ->
+      let offset = period_us / t.config.n * (node.rid + 1) in
+      ignore
+        (Engine.set_timer t.engine ~node:t.orchestrator ~after:(Sim_time.of_us offset)
+           ~tag:"watchdog" ~payload:node.rid))
+    t.replicas
+
+(* --- construction ---------------------------------------------------------- *)
+
+let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () =
+  let engine_config =
+    match engine_config with
+    | Some c -> c
+    | None -> Engine.default_config ~size_of:msg_size ~label_of:msg_label
+  in
+  let engine = Engine.create engine_config in
+  let chains =
+    Auth.create ~seed:(Int64.add engine_config.Engine.seed 7919L)
+      ~n_principals:config.Types.n_principals
+  in
+  let n = config.Types.n in
+  let replica_cells = Array.make n None in
+  let t_cell = ref None in
+  let the () = match !t_cell with Some t -> t | None -> assert false in
+  let replica_net rid =
+    {
+      Replica.send = (fun ~dst env -> Engine.send engine ~src:rid ~dst (Bft env));
+      set_timer =
+        (fun ~after_us ~tag ~payload ->
+          Engine.set_timer engine ~node:rid ~after:(Sim_time.of_us after_us) ~tag ~payload);
+      cancel_timer = (fun id -> Engine.cancel_timer engine id);
+    }
+  in
+  let make_replica rid =
+    let wrapper = make_wrapper rid in
+    let repo = Objrepo.create ~wrapper ~branching in
+    let node_lazy () =
+      match replica_cells.(rid) with Some node -> node | None -> assert false
+    in
+    let app =
+      {
+        Replica.execute =
+          (fun ~client ~operation ~nondet ~read_only ->
+            wrapper.Service.execute ~client ~operation ~nondet ~read_only
+              ~modify:(fun i -> Objrepo.modify repo i));
+        propose_nondet =
+          (fun ~operation ->
+            wrapper.Service.propose_nondet ~clock_us:(Engine.local_clock engine rid) ~operation);
+        check_nondet =
+          (fun ~operation ~nondet ->
+            wrapper.Service.check_nondet ~clock_us:(Engine.local_clock engine rid) ~operation
+              ~nondet);
+        take_checkpoint =
+          (fun ~seq ->
+            (* At seqno 0 this runs from inside Replica.create, before the
+               node record exists; the client table is necessarily empty. *)
+            let rows =
+              match replica_cells.(rid) with
+              | Some node -> Replica.export_client_table node.replica
+              | None -> []
+            in
+            Objrepo.take_checkpoint repo ~seq ~client_rows:rows);
+        discard_checkpoints_below = (fun seq -> Objrepo.discard_below repo seq);
+        start_fetch =
+          (fun ~seq ~digest ->
+            let node = node_lazy () in
+            start_fetch (the ()) node ~seq ~digest);
+      }
+    in
+    let replica =
+      Replica.create ~config ~id:rid ~keychain:chains.(rid) ~net:(replica_net rid) ~app
+    in
+    let node =
+      {
+        rid;
+        replica;
+        repo;
+        wrapper;
+        fetcher = None;
+        st_retries = 0;
+        recovering = false;
+        recovery_stats =
+          {
+            recoveries = 0;
+            last_objects_fetched = 0;
+            last_bytes_fetched = 0;
+            total_objects_fetched = 0;
+            total_bytes_fetched = 0;
+          };
+      }
+    in
+    replica_cells.(rid) <- Some node;
+    node
+  in
+  let replicas = Array.init n make_replica in
+  let clients =
+    Array.init n_clients (fun k ->
+        let cid = n + k in
+        let net =
+          {
+            Client.send = (fun ~dst env -> Engine.send engine ~src:cid ~dst (Bft env));
+            set_timer =
+              (fun ~after_us ~tag ~payload ->
+                Engine.set_timer engine ~node:cid ~after:(Sim_time.of_us after_us) ~tag ~payload);
+            cancel_timer = (fun id -> Engine.cancel_timer engine id);
+            now_us = (fun () -> Engine.now engine);
+          }
+        in
+        Client.create ~config ~id:cid ~keychain:chains.(cid) ~net)
+  in
+  let orchestrator = config.Types.n_principals in
+  let t =
+    {
+      engine;
+      config;
+      chains;
+      replicas;
+      clients;
+      orchestrator;
+      recovery_period_us = 0;
+      reboot_us = 2_000_000;
+      recovery_on = false;
+    }
+  in
+  t_cell := Some t;
+  (* Register event handlers. *)
+  Array.iter
+    (fun node ->
+      Engine.add_node engine ~id:node.rid (fun _engine ev ->
+          match ev with
+          | Engine.Deliver { src; msg = Bft env } ->
+            ignore src;
+            Replica.receive node.replica env
+          | Engine.Deliver { src; msg = St { from; body } } ->
+            ignore src;
+            handle_st t node ~from body
+          | Engine.Timer { tag = "st_retry"; _ } -> (
+            match node.fetcher with
+            | Some fetcher when not (State_transfer.finished fetcher) ->
+              node.st_retries <- node.st_retries + 1;
+              if node.st_retries > 8 then begin
+                (* The target checkpoint was probably garbage-collected by
+                   the group while we fetched; restart against the freshest
+                   certified checkpoint. *)
+                node.fetcher <- None;
+                Replica.abort_fetch node.replica;
+                Replica.initiate_fetch node.replica
+              end
+              else begin
+                State_transfer.retry fetcher;
+                ignore
+                  (Engine.set_timer engine ~node:node.rid
+                     ~after:(Sim_time.of_us st_retry_period_us) ~tag:"st_retry" ~payload:0)
+              end
+            | Some _ | None -> ())
+          | Engine.Timer { tag; payload } -> Replica.on_timer node.replica ~tag ~payload);
+      Replica.start_status_timer node.replica)
+    replicas;
+  Array.iter
+    (fun c ->
+      Engine.add_node engine ~id:(Client.id c) (fun _engine ev ->
+          match ev with
+          | Engine.Deliver { msg = Bft env; _ } -> Client.receive c env
+          | Engine.Deliver { msg = St _; _ } -> ()
+          | Engine.Timer { tag; payload } -> Client.on_timer c ~tag ~payload))
+    clients;
+  Engine.add_node engine ~id:orchestrator (fun _engine ev ->
+      match ev with
+      | Engine.Timer { tag; payload } -> on_orchestrator_timer t ~tag ~payload
+      | Engine.Deliver _ -> ());
+  t
+
+(* --- client-facing API ------------------------------------------------------ *)
+
+let invoke t ~client:idx ?read_only ~operation k =
+  Client.invoke t.clients.(idx) ?read_only ~operation k
+
+let run_until_idle ?(max_events = 5_000_000) t =
+  let events = ref 0 in
+  let busy () = Array.exists (fun c -> Client.outstanding c > 0) t.clients in
+  while busy () && !events < max_events do
+    if not (Engine.step t.engine) then failwith "Runtime.run_until_idle: simulation went quiescent";
+    incr events
+  done;
+  if busy () then failwith "Runtime.run_until_idle: event budget exceeded"
+
+let invoke_sync t ~client:idx ?read_only ~operation () =
+  let result = ref None in
+  invoke t ~client:idx ?read_only ~operation (fun r -> result := Some r);
+  let events = ref 0 in
+  while !result = None && !events < 5_000_000 do
+    if not (Engine.step t.engine) then failwith "Runtime.invoke_sync: simulation went quiescent";
+    incr events
+  done;
+  match !result with
+  | Some r -> r
+  | None -> failwith "Runtime.invoke_sync: event budget exceeded"
+
+let set_behavior t rid b = Replica.set_behavior t.replicas.(rid).replica b

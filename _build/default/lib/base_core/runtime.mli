@@ -1,0 +1,97 @@
+(** The BASE runtime: a complete replicated system inside the simulator.
+
+    [create] builds n = 3f+1 replicas — each running its own conformance
+    wrapper, possibly over a {e different} service implementation — plus the
+    requested clients, and wires them to the discrete-event network: BFT
+    protocol messages, state-transfer messages, timers, MAC keychains, and
+    the proactive-recovery watchdog.
+
+    This is the deployment surface a user of the library sees: build a
+    system from wrappers, add clients, call {!invoke}. *)
+
+module Digest = Base_crypto.Digest_t
+
+type msg =
+  | Bft of Base_bft.Message.envelope
+  | St of { from : int; body : State_transfer.msg }
+
+type recovery_stats = {
+  mutable recoveries : int;
+  mutable last_objects_fetched : int;
+  mutable last_bytes_fetched : int;
+  mutable total_objects_fetched : int;
+  mutable total_bytes_fetched : int;
+}
+
+type replica_node = {
+  rid : int;
+  replica : Base_bft.Replica.t;
+  repo : Objrepo.t;
+  wrapper : Service.wrapper;
+  mutable fetcher : State_transfer.t option;
+  mutable st_retries : int;  (** retries of the current fetch before re-targeting *)
+  mutable recovering : bool;
+  recovery_stats : recovery_stats;
+}
+
+val msg_size : msg -> int
+(** Wire-size estimate, for building a custom engine config. *)
+
+val msg_label : msg -> string
+
+type t
+
+val create :
+  ?engine_config:msg Base_sim.Engine.config ->
+  ?branching:int ->
+  config:Base_bft.Types.config ->
+  make_wrapper:(int -> Service.wrapper) ->
+  n_clients:int ->
+  unit ->
+  t
+(** [make_wrapper i] supplies the conformance wrapper run by replica [i] —
+    pass different implementations for opportunistic N-version programming.
+    [branching] is the partition-tree fan-out (default 16). *)
+
+val engine : t -> msg Base_sim.Engine.t
+
+val config : t -> Base_bft.Types.config
+
+val replica : t -> int -> replica_node
+
+val replicas : t -> replica_node array
+
+val client : t -> int -> Base_bft.Client.t
+(** Client by index [0 .. n_clients-1]. *)
+
+val invoke :
+  t -> client:int -> ?read_only:bool -> operation:string -> (string -> unit) -> unit
+(** Asynchronous invocation through the client's protocol stack. *)
+
+val invoke_sync : t -> client:int -> ?read_only:bool -> operation:string -> unit -> string
+(** Run the simulation until the operation completes and return its result.
+    Raises [Failure] if the simulation goes quiescent or exceeds its event
+    budget first. *)
+
+val run_until_idle : ?max_events:int -> t -> unit
+(** Run until all clients have no outstanding operations. *)
+
+val now : t -> Base_sim.Sim_time.t
+
+val set_behavior : t -> int -> Base_bft.Replica.behavior -> unit
+
+(** {1 Proactive recovery} *)
+
+val enable_proactive_recovery :
+  ?reboot_us:int -> period_us:int -> t -> unit
+(** Stagger watchdog-driven recoveries so each replica recovers once every
+    [period_us], with replicas offset by [period_us / n]; the window of
+    vulnerability is roughly [2 * period_us] (a replica may be compromised
+    just after its recovery).  [reboot_us] is the simulated reboot time
+    (default 2 s). *)
+
+val disable_proactive_recovery : t -> unit
+(** Stop scheduling further watchdog recoveries (in-flight ones finish). *)
+
+val recover_now : ?reboot_us:int -> t -> int -> unit
+(** Force one replica through the recovery procedure immediately. *)

@@ -1,0 +1,41 @@
+type wrapper = {
+  name : string;
+  n_objects : int;
+  execute :
+    client:int ->
+    operation:string ->
+    nondet:string ->
+    read_only:bool ->
+    modify:(int -> unit) ->
+    string;
+  get_obj : int -> string;
+  put_objs : (int * string) list -> unit;
+  restart : unit -> unit;
+  propose_nondet : clock_us:int64 -> operation:string -> string;
+  check_nondet : clock_us:int64 -> operation:string -> nondet:string -> bool;
+}
+
+let object_digest i data =
+  let e = Base_codec.Xdr.encoder () in
+  Base_codec.Xdr.u32 e i;
+  Base_codec.Xdr.opaque e data;
+  Base_crypto.Digest_t.of_string (Base_codec.Xdr.contents e)
+
+let nondet_of_clock clock_us =
+  let e = Base_codec.Xdr.encoder () in
+  Base_codec.Xdr.i64 e clock_us;
+  Base_codec.Xdr.contents e
+
+let clock_of_nondet s =
+  if String.length s = 0 then 0L
+  else begin
+    let d = Base_codec.Xdr.decoder s in
+    Base_codec.Xdr.read_i64 d
+  end
+
+let default_check_nondet ~max_skew_us ~clock_us ~nondet =
+  match clock_of_nondet nondet with
+  | proposed ->
+    let delta = Int64.abs (Int64.sub proposed clock_us) in
+    Int64.compare delta max_skew_us <= 0
+  | exception Base_codec.Xdr.Decode_error _ -> false

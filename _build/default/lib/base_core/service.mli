@@ -1,0 +1,56 @@
+(** The BASE service interface: what a conformance wrapper provides.
+
+    This is the OCaml rendering of the library interface in Figure 1 of the
+    paper.  A conformance wrapper makes an off-the-shelf implementation
+    behave according to the common abstract specification [S]:
+
+    - [execute] is the execution upcall.  It receives the operation, the
+      agreed non-deterministic values chosen by the primary, and a [modify]
+      callback that {e must} be invoked with the index of every abstract
+      object the operation is about to change (this drives the library's
+      copy-on-write checkpointing).
+    - [get_obj] is the abstraction function, per object: it computes the
+      value of abstract object [i] from the concrete state.
+    - [put_objs] is one inverse of the abstraction function: it updates the
+      concrete state so that the given abstract objects take the given
+      values.  The library always calls it with a set of objects that takes
+      the abstract state to a consistent checkpoint value.
+    - [restart] simulates rebooting the underlying implementation during
+      proactive recovery: volatile identifiers (file handles, caches) are
+      lost and the conformance rep is rebuilt from its persistent map.
+    - [propose_nondet]/[check_nondet] implement the agreement mechanism for
+      non-deterministic values such as time-last-modified: the primary
+      proposes a value derived from its local clock and backups sanity-check
+      it. *)
+
+type wrapper = {
+  name : string;  (** which implementation this replica runs *)
+  n_objects : int;  (** size of the abstract-state object array *)
+  execute :
+    client:int ->
+    operation:string ->
+    nondet:string ->
+    read_only:bool ->
+    modify:(int -> unit) ->
+    string;
+  get_obj : int -> string;
+  put_objs : (int * string) list -> unit;
+  restart : unit -> unit;
+  propose_nondet : clock_us:int64 -> operation:string -> string;
+  check_nondet : clock_us:int64 -> operation:string -> nondet:string -> bool;
+}
+
+val object_digest : int -> string -> Base_crypto.Digest_t.t
+(** Digest of one abstract object, bound to its index; the leaf value of the
+    state-partition tree. *)
+
+val nondet_of_clock : int64 -> string
+(** Canonical encoding of a timestamp proposal. *)
+
+val clock_of_nondet : string -> int64
+(** Inverse of {!nondet_of_clock}; returns 0 on the empty string (read-only
+    execution). *)
+
+val default_check_nondet : max_skew_us:int64 -> clock_us:int64 -> nondet:string -> bool
+(** Accept a proposal iff it is within [max_skew_us] of the local clock — the
+    generic backup-side validation. *)

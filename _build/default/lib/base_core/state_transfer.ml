@@ -1,0 +1,220 @@
+module Digest = Base_crypto.Digest_t
+
+let debug = ref false
+
+type msg =
+  | Fetch_head of { seq : int }
+  | Head_reply of {
+      seq : int;
+      app_root : Digest.t;
+      client_rows : (int * int64 * string) list;
+    }
+  | Fetch_meta of { seq : int; level : int; index : int }
+  | Meta_reply of { seq : int; level : int; index : int; children : Digest.t array }
+  | Fetch_obj of { seq : int; index : int }
+  | Obj_reply of { seq : int; index : int; data : string }
+
+let rows_size rows =
+  List.fold_left (fun acc (_, _, res) -> acc + 16 + String.length res) 0 rows
+
+let size = function
+  | Fetch_head _ -> 16
+  | Head_reply { client_rows; _ } -> 48 + rows_size client_rows
+  | Fetch_meta _ -> 20
+  | Meta_reply { children; _ } -> 24 + (32 * Array.length children)
+  | Fetch_obj _ -> 16
+  | Obj_reply { data; _ } -> 20 + String.length data
+
+let label = function
+  | Fetch_head { seq } -> Printf.sprintf "FETCH-HEAD(n=%d)" seq
+  | Head_reply { seq; _ } -> Printf.sprintf "HEAD-REPLY(n=%d)" seq
+  | Fetch_meta { seq; level; index } -> Printf.sprintf "FETCH-META(n=%d,%d.%d)" seq level index
+  | Meta_reply { seq; level; index; _ } ->
+    Printf.sprintf "META-REPLY(n=%d,%d.%d)" seq level index
+  | Fetch_obj { seq; index } -> Printf.sprintf "FETCH-OBJ(n=%d,i=%d)" seq index
+  | Obj_reply { seq; index; data } ->
+    Printf.sprintf "OBJ-REPLY(n=%d,i=%d,%dB)" seq index (String.length data)
+
+let rows_digest rows =
+  let e = Base_codec.Xdr.encoder () in
+  Base_codec.Xdr.list e
+    (fun e (c, ts, res) ->
+      Base_codec.Xdr.u32 e c;
+      Base_codec.Xdr.i64 e ts;
+      Base_codec.Xdr.opaque e res)
+    rows;
+  Digest.of_string (Base_codec.Xdr.contents e)
+
+let combined_digest ~app_root ~client_rows =
+  Digest.combine [ app_root; rows_digest client_rows ]
+
+(* --- server ---------------------------------------------------------------- *)
+
+let serve repo msg =
+  match msg with
+  | Fetch_head { seq } -> (
+    match Objrepo.find_checkpoint repo ~seq with
+    | Some cp ->
+      Some
+        (Head_reply
+           { seq; app_root = Partition_tree.root cp.Objrepo.tree; client_rows = cp.client_rows })
+    | None -> None)
+  | Fetch_meta { seq; level; index } -> (
+    match Objrepo.find_checkpoint repo ~seq with
+    | Some cp when level < Partition_tree.levels cp.Objrepo.tree - 1
+                   && index < Partition_tree.width cp.Objrepo.tree ~level ->
+      let children = Partition_tree.children cp.Objrepo.tree ~level ~index in
+      Some (Meta_reply { seq; level; index; children })
+    | Some _ | None -> None)
+  | Fetch_obj { seq; index } -> (
+    match Objrepo.object_at repo ~seq index with
+    | Some data -> Some (Obj_reply { seq; index; data })
+    | None -> None)
+  | Head_reply _ | Meta_reply _ | Obj_reply _ -> None
+
+(* --- fetcher ---------------------------------------------------------------- *)
+
+type stats = {
+  mutable meta_fetched : int;
+  mutable objects_fetched : int;
+  mutable bytes_fetched : int;
+}
+
+type t = {
+  repo : Objrepo.t;
+  target_seq : int;
+  target_digest : Digest.t;
+  send : msg -> unit;
+  on_complete : seq:int -> app_root:Digest.t -> client_rows:(int * int64 * string) list -> unit;
+  mutable app_root : Digest.t option;
+  mutable client_rows : (int * int64 * string) list;
+  (* Certified digests of tree nodes we are waiting on, keyed by (level, index). *)
+  pending_meta : (int * int, Digest.t) Hashtbl.t;
+  (* Certified leaf digests of objects we are waiting on. *)
+  pending_objs : (int, Digest.t) Hashtbl.t;
+  fetched : (int, string) Hashtbl.t;
+  mutable done_ : bool;
+  stats : stats;
+}
+
+let finished t = t.done_
+
+let stats t = t.stats
+
+let start ~repo ~target_seq ~target_digest ~send ~on_complete =
+  let t =
+    {
+      repo;
+      target_seq;
+      target_digest;
+      send;
+      on_complete;
+      app_root = None;
+      client_rows = [];
+      pending_meta = Hashtbl.create 16;
+      pending_objs = Hashtbl.create 64;
+      fetched = Hashtbl.create 64;
+      done_ = false;
+      stats = { meta_fetched = 0; objects_fetched = 0; bytes_fetched = 0 };
+    }
+  in
+  send (Fetch_head { seq = target_seq });
+  t
+
+let local_tree t = Objrepo.current_tree t.repo
+
+let maybe_complete t =
+  if
+    (not t.done_) && t.app_root <> None
+    && Hashtbl.length t.pending_meta = 0
+    && Hashtbl.length t.pending_objs = 0
+  then begin
+    t.done_ <- true;
+    let objs = Hashtbl.fold (fun i data acc -> (i, data) :: acc) t.fetched [] in
+    let objs = List.sort compare objs in
+    (* Invalidate stale local checkpoints before mutating the concrete
+       state, then install the whole batch with one put_objs call. *)
+    Objrepo.discard_below t.repo (t.target_seq + 1);
+    if objs <> [] then Objrepo.install t.repo objs;
+    let app_root = Option.get t.app_root in
+    t.on_complete ~seq:t.target_seq ~app_root ~client_rows:t.client_rows
+  end
+
+(* Descend into a certified node: if our local digest already matches, the
+   whole partition is up to date; otherwise request its children (or the
+   object itself at the leaf level). *)
+let expand t ~level ~index certified =
+  let tree = local_tree t in
+  let leaf_level = Partition_tree.levels tree - 1 in
+  let local = Partition_tree.node tree ~level ~index in
+  if not (Digest.equal local certified) then begin
+    if level = leaf_level then begin
+      if not (Hashtbl.mem t.pending_objs index) then begin
+        Hashtbl.replace t.pending_objs index certified;
+        t.send (Fetch_obj { seq = t.target_seq; index })
+      end
+    end
+    else if not (Hashtbl.mem t.pending_meta (level, index)) then begin
+      Hashtbl.replace t.pending_meta (level, index) certified;
+      t.send (Fetch_meta { seq = t.target_seq; level; index })
+    end
+  end
+
+let handle_reply t msg =
+  if not t.done_ then begin
+    match msg with
+    | Head_reply { seq; app_root; client_rows } when seq = t.target_seq && t.app_root = None ->
+      let combined = Digest.combine [ app_root; rows_digest client_rows ] in
+      if Digest.equal combined t.target_digest then begin
+        t.app_root <- Some app_root;
+        t.client_rows <- client_rows;
+        expand t ~level:0 ~index:0 app_root;
+        maybe_complete t
+      end
+    | Meta_reply { seq; level; index; children } when seq = t.target_seq -> (
+      match Hashtbl.find_opt t.pending_meta (level, index) with
+      | Some certified
+        when Digest.equal (Digest.of_list (Array.to_list (Array.map Digest.raw children))) certified
+        ->
+        Hashtbl.remove t.pending_meta (level, index);
+        t.stats.meta_fetched <- t.stats.meta_fetched + 1;
+        let tree = local_tree t in
+        let first, _last = Partition_tree.child_span tree ~level ~index in
+        Array.iteri (fun k d -> expand t ~level:(level + 1) ~index:(first + k) d) children;
+        maybe_complete t
+      | Some _ | None -> ())
+    | Obj_reply { seq; index; data } when seq = t.target_seq -> (
+      (if !debug then
+         match Hashtbl.find_opt t.pending_objs index with
+         | Some certified when not (Digest.equal (Service.object_digest index data) certified) ->
+           Printf.eprintf "  [st] obj %d reply REJECTED: got %s want %s (%d B)\n%!" index
+             (Base_util.Hex.short (Digest.raw (Service.object_digest index data)))
+             (Base_util.Hex.short (Digest.raw certified))
+             (String.length data)
+         | _ -> ());
+      match Hashtbl.find_opt t.pending_objs index with
+      | Some certified when Digest.equal (Service.object_digest index data) certified ->
+        Hashtbl.remove t.pending_objs index;
+        Hashtbl.replace t.fetched index data;
+        t.stats.objects_fetched <- t.stats.objects_fetched + 1;
+        t.stats.bytes_fetched <- t.stats.bytes_fetched + String.length data;
+        maybe_complete t
+      | Some _ | None -> ())
+    | Head_reply _ | Meta_reply _ | Obj_reply _
+    | Fetch_head _ | Fetch_meta _ | Fetch_obj _ -> ()
+  end
+
+let dump t =
+  let objs = Hashtbl.fold (fun i _ acc -> string_of_int i :: acc) t.pending_objs [] in
+  Printf.eprintf "  [st] target=%d head=%b pending_meta=%d pending_objs=[%s] fetched=%d\n%!"
+    t.target_seq (t.app_root <> None) (Hashtbl.length t.pending_meta)
+    (String.concat "," objs) (Hashtbl.length t.fetched)
+
+let retry t =
+  if !debug then dump t;
+  if not t.done_ then begin
+    if t.app_root = None then t.send (Fetch_head { seq = t.target_seq });
+    Hashtbl.iter (fun (level, index) _ -> t.send (Fetch_meta { seq = t.target_seq; level; index }))
+      t.pending_meta;
+    Hashtbl.iter (fun index _ -> t.send (Fetch_obj { seq = t.target_seq; index })) t.pending_objs
+  end

@@ -1,0 +1,88 @@
+(** Hierarchical state transfer between replicas (Section 2.2).
+
+    A replica that is out of date (because it missed messages that were
+    garbage-collected, or because it just went through proactive recovery)
+    brings itself to a {e certified} checkpoint [(seq, digest)] — one vouched
+    for by f+1 distinct replicas, hence by at least one correct one.
+
+    The fetch is self-verifying from the root down, so each piece can be
+    accepted from a single (possibly faulty) replica:
+
+    + [Fetch_head] obtains the partition-tree root and the last-reply table;
+      they verify against the certified checkpoint digest.
+    + [Fetch_meta] walks down the partition tree, descending only into
+      partitions whose digest differs from the local state; every reply
+      verifies against the already-certified parent digest.
+    + [Fetch_obj] retrieves only the objects that are out of date or
+      corrupt; each verifies against its certified leaf digest.
+
+    When everything needed has arrived, the whole batch is installed with a
+    single [put_objs] call — the library's guarantee that the inverse
+    abstraction function always sees a consistent abstract state. *)
+
+module Digest = Base_crypto.Digest_t
+
+type msg =
+  | Fetch_head of { seq : int }
+  | Head_reply of {
+      seq : int;
+      app_root : Digest.t;
+      client_rows : (int * int64 * string) list;
+    }
+  | Fetch_meta of { seq : int; level : int; index : int }
+  | Meta_reply of { seq : int; level : int; index : int; children : Digest.t array }
+  | Fetch_obj of { seq : int; index : int }
+  | Obj_reply of { seq : int; index : int; data : string }
+
+val size : msg -> int
+(** Wire-size estimate for the simulator. *)
+
+val label : msg -> string
+
+val combined_digest :
+  app_root:Digest.t -> client_rows:(int * int64 * string) list -> Digest.t
+(** The checkpoint digest bound by CHECKPOINT messages for a given
+    partition-tree root and last-reply table (used by tests and by the
+    benchmark harness to fabricate fetch targets). *)
+
+(** {1 Server side} *)
+
+val serve : Objrepo.t -> msg -> msg option
+(** Answer a fetch request from the local checkpoint store; [None] if we do
+    not hold the requested checkpoint (or the message is not a request). *)
+
+(** {1 Fetcher side} *)
+
+type stats = {
+  mutable meta_fetched : int;
+  mutable objects_fetched : int;
+  mutable bytes_fetched : int;
+}
+
+type t
+
+val start :
+  repo:Objrepo.t ->
+  target_seq:int ->
+  target_digest:Digest.t ->
+  send:(msg -> unit) ->
+  on_complete:
+    (seq:int -> app_root:Digest.t -> client_rows:(int * int64 * string) list -> unit) ->
+  t
+(** Begin fetching.  [send] transmits a request to the peer replicas;
+    [on_complete] fires once after the batch has been installed in the
+    repo.  [target_digest] is the combined checkpoint digest certified by
+    f+1 CHECKPOINT messages. *)
+
+val handle_reply : t -> msg -> unit
+(** Feed a state-transfer reply to the fetcher (requests are ignored). *)
+
+val retry : t -> unit
+(** Re-send all outstanding requests (driven by a runtime timer). *)
+
+val debug : bool ref
+(** When set, {!retry} dumps fetcher progress to stderr (diagnostics). *)
+
+val finished : t -> bool
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/bft/client.ml: Base_crypto Hashtbl Int64 Message Queue Types

@@ -1,0 +1,1 @@
+lib/bft/client.mli: Base_crypto Message Types

@@ -1,0 +1,1 @@
+lib/bft/message.ml: Array Base_codec Base_crypto List Printf String Types

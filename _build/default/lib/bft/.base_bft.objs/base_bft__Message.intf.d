@@ -1,0 +1,1 @@
+lib/bft/message.mli: Base_crypto Types

@@ -1,0 +1,1 @@
+lib/bft/replica.ml: Base_codec Base_crypto Char Hashtbl List Message Queue String Types

@@ -1,0 +1,1 @@
+lib/bft/replica.mli: Base_crypto Message Types

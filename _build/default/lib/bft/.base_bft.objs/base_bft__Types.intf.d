@@ -1,0 +1,1 @@
+lib/bft/types.mli:

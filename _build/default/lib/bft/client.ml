@@ -1,0 +1,160 @@
+module M = Message
+
+type net = {
+  send : dst:int -> Message.envelope -> unit;
+  set_timer : after_us:int -> tag:string -> payload:int -> int;
+  cancel_timer : int -> unit;
+  now_us : unit -> int64;
+}
+
+type stats = {
+  mutable completed : int;
+  mutable retransmissions : int;
+  mutable read_only_fallbacks : int;
+  mutable latencies_us : float list;
+}
+
+type pending = {
+  request : M.request;
+  callback : string -> unit;
+  replies : (int, string) Hashtbl.t;  (* replica -> result *)
+  mutable timer : int;
+  mutable attempts : int;
+  started_us : int64;
+}
+
+type t = {
+  config : Types.config;
+  id : int;
+  keychain : Base_crypto.Auth.keychain;
+  net : net;
+  mutable next_ts : int64;
+  mutable current : pending option;
+  queue : (string * bool * (string -> unit)) Queue.t;
+  stats : stats;
+}
+
+let create ~config ~id ~keychain ~net =
+  if id < (config : Types.config).n then invalid_arg "Client.create: id collides with a replica";
+  {
+    config;
+    id;
+    keychain;
+    net;
+    next_ts = 0L;
+    current = None;
+    queue = Queue.create ();
+    stats =
+      { completed = 0; retransmissions = 0; read_only_fallbacks = 0; latencies_us = [] };
+  }
+
+let id t = t.id
+
+let outstanding t = Queue.length t.queue + (match t.current with Some _ -> 1 | None -> 0)
+
+let stats t = t.stats
+
+let seal t body = M.seal t.keychain ~sender:t.id ~n_principals:t.config.n_principals body
+
+let send_to_all t body =
+  let env = seal t body in
+  for r = 0 to t.config.n - 1 do
+    t.net.send ~dst:r env
+  done
+
+(* The needed number of matching replies: replies are self-verifying only in
+   quorum, so read-write needs f+1 (one correct replica among them) and
+   read-only needs 2f+1 (a quorum that intersects every commit quorum). *)
+let needed t (r : M.request) =
+  if r.read_only then Types.quorum t.config else Types.weak_quorum t.config
+
+let rec start_request t operation read_only callback =
+  let ts = t.next_ts in
+  t.next_ts <- Int64.add ts 1L;
+  let request = { M.client = t.id; timestamp = ts; operation; read_only } in
+  let p =
+    {
+      request;
+      callback;
+      replies = Hashtbl.create 8;
+      timer = 0;
+      attempts = 0;
+      started_us = t.net.now_us ();
+    }
+  in
+  t.current <- Some p;
+  (* First transmission goes to all replicas: backups relay to the primary
+     and start their progress timers, which also covers primary failure. *)
+  send_to_all t (M.Request request);
+  p.timer <-
+    t.net.set_timer ~after_us:t.config.client_timeout_us ~tag:"client"
+      ~payload:(Int64.to_int ts)
+
+and finish t p result =
+  t.net.cancel_timer p.timer;
+  t.current <- None;
+  t.stats.completed <- t.stats.completed + 1;
+  let elapsed = Int64.sub (t.net.now_us ()) p.started_us in
+  t.stats.latencies_us <- Int64.to_float elapsed :: t.stats.latencies_us;
+  p.callback result;
+  match Queue.take_opt t.queue with
+  | Some (operation, read_only, callback) -> start_request t operation read_only callback
+  | None -> ()
+
+let invoke t ?(read_only = false) ~operation callback =
+  match t.current with
+  | Some _ -> Queue.add (operation, read_only, callback) t.queue
+  | None -> start_request t operation read_only callback
+
+let check_quorum t p =
+  (* Count replicas agreeing on each result value. *)
+  let counts = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ result ->
+      let c = try Hashtbl.find counts result with Not_found -> 0 in
+      Hashtbl.replace counts result (c + 1))
+    p.replies;
+  let winner =
+    Hashtbl.fold
+      (fun result c acc -> if c >= needed t p.request then Some result else acc)
+      counts None
+  in
+  match winner with Some result -> finish t p result | None -> ()
+
+let receive t (env : M.envelope) =
+  if M.verify t.keychain ~receiver:t.id env then begin
+    match (env.body, t.current) with
+    | M.Reply r, Some p
+      when r.client = t.id && r.timestamp = p.request.timestamp && r.replica = env.sender
+           && Types.is_replica t.config env.sender ->
+      Hashtbl.replace p.replies env.sender r.result;
+      check_quorum t p
+    | _ -> ()
+  end
+
+let on_timer t ~tag ~payload =
+  match (tag, t.current) with
+  | "client", Some p when Int64.of_int payload = p.request.timestamp ->
+    p.attempts <- p.attempts + 1;
+    t.stats.retransmissions <- t.stats.retransmissions + 1;
+    if p.request.read_only && p.attempts >= 2 then begin
+      (* Read-only quorum unreachable (e.g. concurrent writes or recovering
+         replicas): fall back to a regular, ordered request. *)
+      t.stats.read_only_fallbacks <- t.stats.read_only_fallbacks + 1;
+      let request = { p.request with read_only = false } in
+      let p' = { p with request; attempts = 0 } in
+      Hashtbl.reset p'.replies;
+      t.current <- Some p';
+      send_to_all t (M.Request request);
+      p'.timer <-
+        t.net.set_timer ~after_us:t.config.client_timeout_us ~tag:"client"
+          ~payload:(Int64.to_int request.timestamp)
+    end
+    else begin
+      send_to_all t (M.Request p.request);
+      p.timer <-
+        t.net.set_timer ~after_us:(t.config.client_timeout_us * (1 + min p.attempts 4))
+          ~tag:"client"
+          ~payload:(Int64.to_int p.request.timestamp)
+    end
+  | _ -> ()

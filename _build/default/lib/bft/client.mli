@@ -1,0 +1,47 @@
+(** PBFT client: the [invoke] side of the library interface (Figure 1).
+
+    A client sends an authenticated request to the primary (retransmitting to
+    all replicas on timeout) and accepts a result once enough replicas sent
+    matching replies: f+1 for read-write operations, 2f+1 for the read-only
+    optimisation.  A read-only request that cannot gather a 2f+1 quorum is
+    retried as a regular request, as in the BFT library.
+
+    The simulator is event-driven, so [invoke] takes a completion callback
+    rather than blocking; one request is outstanding at a time and further
+    invocations queue. *)
+
+type net = {
+  send : dst:int -> Message.envelope -> unit;
+  set_timer : after_us:int -> tag:string -> payload:int -> int;
+  cancel_timer : int -> unit;
+  now_us : unit -> int64;
+}
+
+type stats = {
+  mutable completed : int;
+  mutable retransmissions : int;
+  mutable read_only_fallbacks : int;
+  mutable latencies_us : float list;  (** per completed operation *)
+}
+
+type t
+
+val create :
+  config:Types.config -> id:int -> keychain:Base_crypto.Auth.keychain -> net:net -> t
+(** [id] must be [>= config.n] (replica ids come first). *)
+
+val id : t -> int
+
+val invoke : t -> ?read_only:bool -> operation:string -> (string -> unit) -> unit
+(** [invoke t ~operation k] schedules the operation and calls [k result] when
+    the reply quorum arrives. *)
+
+val receive : t -> Message.envelope -> unit
+(** Feed a network delivery (replies) to the client. *)
+
+val on_timer : t -> tag:string -> payload:int -> unit
+
+val outstanding : t -> int
+(** Number of queued + in-flight operations (0 when idle). *)
+
+val stats : t -> stats

@@ -1,0 +1,267 @@
+module Digest = Base_crypto.Digest_t
+module Xdr = Base_codec.Xdr
+
+type request = { client : int; timestamp : int64; operation : string; read_only : bool }
+
+let null_request = { client = -1; timestamp = 0L; operation = ""; read_only = false }
+
+type pre_prepare = {
+  view : Types.view;
+  seq : Types.seqno;
+  digest : Digest.t;
+  requests : request list;  (* the batch; empty = null request *)
+  nondet : string;
+}
+
+type prepare = { view : Types.view; seq : Types.seqno; digest : Digest.t; replica : int }
+
+type commit = { view : Types.view; seq : Types.seqno; digest : Digest.t; replica : int }
+
+type reply = {
+  view : Types.view;
+  timestamp : int64;
+  client : int;
+  replica : int;
+  result : string;
+}
+
+type checkpoint = { seq : Types.seqno; digest : Digest.t; replica : int }
+
+type prepared_proof = {
+  pp_view : Types.view;
+  pp_seq : Types.seqno;
+  pp_digest : Digest.t;
+  pp_requests : request list;
+  pp_nondet : string;
+}
+
+type view_change = {
+  new_view : Types.view;
+  last_stable : Types.seqno;
+  stable_digest : Digest.t;
+  prepared : prepared_proof list;
+  replica : int;
+}
+
+type new_view = {
+  nv_view : Types.view;
+  nv_view_changes : (int * Types.seqno) list;
+  nv_pre_prepares : pre_prepare list;
+}
+
+type status_msg = { st_view : Types.view; st_last_exec : Types.seqno; st_h : Types.seqno; st_replica : int }
+
+type body =
+  | Request of request
+  | Pre_prepare of pre_prepare
+  | Prepare of prepare
+  | Commit of commit
+  | Reply of reply
+  | Checkpoint of checkpoint
+  | View_change of view_change
+  | New_view of new_view
+  | Status of status_msg
+
+type envelope = { sender : int; body : body; macs : string array; size : int }
+
+(* Clients use small signed ints (-1 for null requests); bias into u32 space. *)
+let enc_id e id = Xdr.u32 e (id + 1)
+
+let enc_request e (r : request) =
+  enc_id e r.client;
+  Xdr.i64 e r.timestamp;
+  Xdr.opaque e r.operation;
+  Xdr.bool e r.read_only
+
+let encode_request r =
+  let e = Xdr.encoder () in
+  enc_request e r;
+  Xdr.contents e
+
+let request_digest r = Digest.of_string (encode_request r)
+
+let enc_digest e d = Xdr.opaque e (Digest.raw d)
+
+let enc_pre_prepare e (p : pre_prepare) =
+  Xdr.u32 e p.view;
+  Xdr.u32 e p.seq;
+  enc_digest e p.digest;
+  Xdr.list e enc_request p.requests;
+  Xdr.opaque e p.nondet
+
+let enc_proof e (p : prepared_proof) =
+  Xdr.u32 e p.pp_view;
+  Xdr.u32 e p.pp_seq;
+  enc_digest e p.pp_digest;
+  Xdr.list e enc_request p.pp_requests;
+  Xdr.opaque e p.pp_nondet
+
+let encode_body body =
+  let e = Xdr.encoder () in
+  (match body with
+  | Request r ->
+    Xdr.u32 e 0;
+    enc_request e r
+  | Pre_prepare p ->
+    Xdr.u32 e 1;
+    enc_pre_prepare e p
+  | Prepare p ->
+    Xdr.u32 e 2;
+    Xdr.u32 e p.view;
+    Xdr.u32 e p.seq;
+    enc_digest e p.digest;
+    enc_id e p.replica
+  | Commit c ->
+    Xdr.u32 e 3;
+    Xdr.u32 e c.view;
+    Xdr.u32 e c.seq;
+    enc_digest e c.digest;
+    enc_id e c.replica
+  | Reply r ->
+    Xdr.u32 e 4;
+    Xdr.u32 e r.view;
+    Xdr.i64 e r.timestamp;
+    enc_id e r.client;
+    enc_id e r.replica;
+    Xdr.opaque e r.result
+  | Checkpoint c ->
+    Xdr.u32 e 5;
+    Xdr.u32 e c.seq;
+    enc_digest e c.digest;
+    enc_id e c.replica
+  | View_change v ->
+    Xdr.u32 e 6;
+    Xdr.u32 e v.new_view;
+    Xdr.u32 e v.last_stable;
+    enc_digest e v.stable_digest;
+    Xdr.list e enc_proof v.prepared;
+    enc_id e v.replica
+  | New_view n ->
+    Xdr.u32 e 7;
+    Xdr.u32 e n.nv_view;
+    Xdr.list e
+      (fun e (r, s) ->
+        enc_id e r;
+        Xdr.u32 e s)
+      n.nv_view_changes;
+    Xdr.list e enc_pre_prepare n.nv_pre_prepares
+  | Status st ->
+    Xdr.u32 e 8;
+    Xdr.u32 e st.st_view;
+    Xdr.u32 e st.st_last_exec;
+    Xdr.u32 e st.st_h;
+    enc_id e st.st_replica);
+  Xdr.contents e
+
+(* --- decoding (wire-format completeness; the simulator passes values, but
+   the format must round-trip for real deployments and is property-tested) *)
+
+
+let dec_id d = Xdr.read_u32 d - 1
+
+let dec_request d =
+  let client = dec_id d in
+  let timestamp = Xdr.read_i64 d in
+  let operation = Xdr.read_opaque d in
+  let read_only = Xdr.read_bool d in
+  { client; timestamp; operation; read_only }
+
+let dec_digest d = Digest.of_raw (Xdr.read_opaque d)
+
+let dec_pre_prepare d =
+  let view = Xdr.read_u32 d in
+  let seq = Xdr.read_u32 d in
+  let digest = dec_digest d in
+  let requests = Xdr.read_list d dec_request in
+  let nondet = Xdr.read_opaque d in
+  { view; seq; digest; requests; nondet }
+
+let dec_proof d =
+  let pp_view = Xdr.read_u32 d in
+  let pp_seq = Xdr.read_u32 d in
+  let pp_digest = dec_digest d in
+  let pp_requests = Xdr.read_list d dec_request in
+  let pp_nondet = Xdr.read_opaque d in
+  { pp_view; pp_seq; pp_digest; pp_requests; pp_nondet }
+
+let decode_body data =
+  let d = Xdr.decoder data in
+  let body =
+    match Xdr.read_u32 d with
+    | 0 -> Request (dec_request d)
+    | 1 -> Pre_prepare (dec_pre_prepare d)
+    | 2 ->
+      let view = Xdr.read_u32 d in
+      let seq = Xdr.read_u32 d in
+      let digest = dec_digest d in
+      let replica = dec_id d in
+      Prepare { view; seq; digest; replica }
+    | 3 ->
+      let view = Xdr.read_u32 d in
+      let seq = Xdr.read_u32 d in
+      let digest = dec_digest d in
+      let replica = dec_id d in
+      Commit { view; seq; digest; replica }
+    | 4 ->
+      let view = Xdr.read_u32 d in
+      let timestamp = Xdr.read_i64 d in
+      let client = dec_id d in
+      let replica = dec_id d in
+      let result = Xdr.read_opaque d in
+      Reply { view; timestamp; client; replica; result }
+    | 5 ->
+      let seq = Xdr.read_u32 d in
+      let digest = dec_digest d in
+      let replica = dec_id d in
+      Checkpoint { seq; digest; replica }
+    | 6 ->
+      let new_view = Xdr.read_u32 d in
+      let last_stable = Xdr.read_u32 d in
+      let stable_digest = dec_digest d in
+      let prepared = Xdr.read_list d dec_proof in
+      let replica = dec_id d in
+      View_change { new_view; last_stable; stable_digest; prepared; replica }
+    | 7 ->
+      let nv_view = Xdr.read_u32 d in
+      let nv_view_changes =
+        Xdr.read_list d (fun d ->
+            let r = dec_id d in
+            let s = Xdr.read_u32 d in
+            (r, s))
+      in
+      let nv_pre_prepares = Xdr.read_list d dec_pre_prepare in
+      New_view { nv_view; nv_view_changes; nv_pre_prepares }
+    | 8 ->
+      let st_view = Xdr.read_u32 d in
+      let st_last_exec = Xdr.read_u32 d in
+      let st_h = Xdr.read_u32 d in
+      let st_replica = dec_id d in
+      Status { st_view; st_last_exec; st_h; st_replica }
+    | n -> raise (Xdr.Decode_error (Printf.sprintf "bad message tag %d" n))
+  in
+  Xdr.expect_end d;
+  body
+
+let seal chain ~sender ~n_principals body =
+  let encoded = encode_body body in
+  let macs = Base_crypto.Auth.authenticator chain ~n:n_principals encoded in
+  (* Wire size: body + one 8-byte truncated MAC per receiver + small header. *)
+  { sender; body; macs; size = String.length encoded + (8 * n_principals) + 16 }
+
+let verify chain ~receiver env =
+  receiver < Array.length env.macs
+  && Base_crypto.Auth.check chain ~sender:env.sender (encode_body env.body)
+       ~mac:env.macs.(receiver)
+
+let label = function
+  | Request r -> Printf.sprintf "REQUEST(c=%d,t=%Ld%s)" r.client r.timestamp
+                   (if r.read_only then ",ro" else "")
+  | Pre_prepare p ->
+    Printf.sprintf "PRE-PREPARE(v=%d,n=%d,b=%d)" p.view p.seq (List.length p.requests)
+  | Prepare p -> Printf.sprintf "PREPARE(v=%d,n=%d,i=%d)" p.view p.seq p.replica
+  | Commit c -> Printf.sprintf "COMMIT(v=%d,n=%d,i=%d)" c.view c.seq c.replica
+  | Reply r -> Printf.sprintf "REPLY(c=%d,t=%Ld,i=%d)" r.client r.timestamp r.replica
+  | Checkpoint c -> Printf.sprintf "CHECKPOINT(n=%d,i=%d)" c.seq c.replica
+  | View_change v -> Printf.sprintf "VIEW-CHANGE(v=%d,i=%d)" v.new_view v.replica
+  | New_view n -> Printf.sprintf "NEW-VIEW(v=%d)" n.nv_view
+  | Status st -> Printf.sprintf "STATUS(v=%d,e=%d,i=%d)" st.st_view st.st_last_exec st.st_replica

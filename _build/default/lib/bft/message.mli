@@ -1,0 +1,109 @@
+(** PBFT protocol messages, their canonical encodings and MAC envelopes.
+
+    Every message body has a canonical XDR encoding used for three purposes:
+    request digests, MAC computation, and wire-size accounting in the
+    simulator.  Messages travel inside an {!envelope} carrying an
+    authenticator — one HMAC per receiver — so a Byzantine sender cannot
+    impersonate another principal (the MACs are really checked). *)
+
+module Digest = Base_crypto.Digest_t
+
+type request = {
+  client : int;
+  timestamp : int64;  (** client-local, strictly increasing; identifies the request *)
+  operation : string;  (** opaque payload interpreted by the service *)
+  read_only : bool;
+}
+
+val null_request : request
+(** Placeholder ordered by new-view for gaps; executes as a no-op. *)
+
+type pre_prepare = {
+  view : Types.view;
+  seq : Types.seqno;
+  digest : Digest.t;  (** digest of the batch and the nondet proposal *)
+  requests : request list;  (** the piggybacked batch; empty = null request *)
+  nondet : string;  (** primary's proposal for non-deterministic values *)
+}
+
+type prepare = { view : Types.view; seq : Types.seqno; digest : Digest.t; replica : int }
+
+type commit = { view : Types.view; seq : Types.seqno; digest : Digest.t; replica : int }
+
+type reply = {
+  view : Types.view;
+  timestamp : int64;
+  client : int;
+  replica : int;
+  result : string;
+}
+
+type checkpoint = { seq : Types.seqno; digest : Digest.t; replica : int }
+
+(** Certificate that (seq, digest) prepared in some view: the pre-prepare
+    data plus 2f matching prepares, carried inside view-change messages. *)
+type prepared_proof = {
+  pp_view : Types.view;
+  pp_seq : Types.seqno;
+  pp_digest : Digest.t;
+  pp_requests : request list;
+  pp_nondet : string;
+}
+
+type view_change = {
+  new_view : Types.view;
+  last_stable : Types.seqno;
+  stable_digest : Digest.t;
+  prepared : prepared_proof list;
+  replica : int;
+}
+
+type new_view = {
+  nv_view : Types.view;
+  nv_view_changes : (int * Types.seqno) list;
+      (** summary of the accepted view-change set: (replica, last_stable) *)
+  nv_pre_prepares : pre_prepare list;  (** the O set, re-proposed in the new view *)
+}
+
+(** Periodic liveness gossip: lets peers retransmit what a lagging replica
+    is missing (PBFT's status messages). *)
+type status_msg = { st_view : Types.view; st_last_exec : Types.seqno; st_h : Types.seqno; st_replica : int }
+
+type body =
+  | Request of request
+  | Pre_prepare of pre_prepare
+  | Prepare of prepare
+  | Commit of commit
+  | Reply of reply
+  | Checkpoint of checkpoint
+  | View_change of view_change
+  | New_view of new_view
+  | Status of status_msg
+
+type envelope = {
+  sender : int;
+  body : body;
+  macs : string array;  (** authenticator, indexed by receiver id *)
+  size : int;  (** wire size: encoded body + authenticator *)
+}
+
+val encode_request : request -> string
+
+val request_digest : request -> Digest.t
+
+val encode_body : body -> string
+
+val decode_body : string -> body
+(** Inverse of {!encode_body}.  Raises {!Base_codec.Xdr.Decode_error} on
+    malformed input.  The simulator passes message values directly, but the
+    wire format round-trips for real transports (property-tested). *)
+
+val seal : Base_crypto.Auth.keychain -> sender:int -> n_principals:int -> body -> envelope
+(** Build an authenticated envelope. *)
+
+val verify : Base_crypto.Auth.keychain -> receiver:int -> envelope -> bool
+(** Check the receiver's MAC slot against the re-encoded body under the
+    claimed sender's key. *)
+
+val label : body -> string
+(** Short tag for traces, e.g. ["PRE-PREPARE(v=0,n=5)"]. *)

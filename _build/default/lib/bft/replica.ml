@@ -1,0 +1,1033 @@
+module Digest = Base_crypto.Digest_t
+module Auth = Base_crypto.Auth
+module M = Message
+
+type app = {
+  execute : client:int -> operation:string -> nondet:string -> read_only:bool -> string;
+  propose_nondet : operation:string -> string;
+  check_nondet : operation:string -> nondet:string -> bool;
+  take_checkpoint : seq:Types.seqno -> Digest.t;
+  discard_checkpoints_below : Types.seqno -> unit;
+  start_fetch : seq:Types.seqno -> digest:Digest.t -> unit;
+}
+
+type net = {
+  send : dst:int -> Message.envelope -> unit;
+  set_timer : after_us:int -> tag:string -> payload:int -> int;
+  cancel_timer : int -> unit;
+}
+
+type behavior = Honest | Mute | Lie_in_replies | Equivocate
+
+type status = Normal | View_changing | Fetching
+
+type stats = {
+  mutable executed : int;  (* consensus instances executed *)
+  mutable executed_requests : int;  (* client requests executed (>= executed with batching) *)
+  mutable checkpoints_taken : int;
+  mutable view_changes : int;
+  mutable fetches : int;
+  mutable rejected_macs : int;
+}
+
+(* Per-sequence-number log slot.  The prepare/commit tables are keyed by
+   replica id; certificates are counted over matching digests. *)
+type entry = {
+  mutable pre_prepare : M.pre_prepare option;
+  prepares : (int, Digest.t) Hashtbl.t;
+  commits : (int, Digest.t) Hashtbl.t;
+  mutable sent_commit : bool;
+  mutable committed : bool;
+  mutable prepared_proof : M.prepared_proof option;
+}
+
+type client_rec = {
+  mutable last_ts : int64;  (* timestamp of last executed request *)
+  mutable last_reply : M.reply option;
+  mutable pending : M.request option;  (* received but not yet executed *)
+  mutable assigned_ts : int64;  (* primary: highest timestamp given a seqno *)
+  mutable assigned_seq : Types.seqno;
+}
+
+type t = {
+  config : Types.config;
+  id : int;
+  keychain : Auth.keychain;
+  net : net;
+  app : app;
+  mutable behavior : behavior;
+  mutable view : Types.view;
+  mutable status : status;
+  entries : (Types.seqno, entry) Hashtbl.t;
+  clients : (int, client_rec) Hashtbl.t;
+  cp_msgs : (Types.seqno, (int, Digest.t) Hashtbl.t) Hashtbl.t;
+  own_cps : (Types.seqno, Digest.t) Hashtbl.t;
+  mutable h : Types.seqno;  (* low watermark = last stable checkpoint *)
+  mutable stable_digest : Digest.t;
+  mutable last_exec : Types.seqno;
+  mutable next_seq : Types.seqno;  (* primary: last assigned seqno *)
+  queued_requests : M.request Queue.t;  (* primary: waiting for window space *)
+  vcs : (Types.view, (int, M.view_change) Hashtbl.t) Hashtbl.t;
+  mutable vc_timer : int option;
+  mutable vc_timeout_us : int;
+  mutable status_timer : int option;
+  mutable last_progress_exec : Types.seqno;
+  mutable fetch_in_progress : (Types.seqno * Digest.t) option;
+  mutable resume_vc_after_fetch : bool;
+  peer_views : (int, Types.view) Hashtbl.t;  (* latest STATUS-reported views *)
+  stats : stats;
+}
+
+let fresh_entry () =
+  {
+    pre_prepare = None;
+    prepares = Hashtbl.create 8;
+    commits = Hashtbl.create 8;
+    sent_commit = false;
+    committed = false;
+    prepared_proof = None;
+  }
+
+let get_entry t seq =
+  match Hashtbl.find_opt t.entries seq with
+  | Some e -> e
+  | None ->
+    let e = fresh_entry () in
+    Hashtbl.replace t.entries seq e;
+    e
+
+let client_rec t c =
+  match Hashtbl.find_opt t.clients c with
+  | Some r -> r
+  | None ->
+    let r =
+      { last_ts = -1L; last_reply = None; pending = None; assigned_ts = -1L; assigned_seq = -1 }
+    in
+    Hashtbl.replace t.clients c r;
+    r
+
+(* --- digests ------------------------------------------------------------ *)
+
+(* The ordering digest binds the whole request batch *and* the agreed
+   non-deterministic values, so an equivocating primary cannot get two
+   nondet choices (or two batch compositions) past the prepare phase. *)
+let ordering_digest requests nondet =
+  Digest.of_list (List.map (fun r -> Digest.raw (M.request_digest r)) requests @ [ nondet ])
+
+let client_rows_of_table clients =
+  Hashtbl.fold
+    (fun c (r : client_rec) acc ->
+      match r.last_reply with
+      | Some rep -> (c, r.last_ts, rep.result) :: acc
+      | None -> acc)
+    clients []
+  |> List.sort compare
+
+let digest_of_rows rows =
+  let e = Base_codec.Xdr.encoder () in
+  Base_codec.Xdr.list e
+    (fun e (c, ts, res) ->
+      Base_codec.Xdr.u32 e c;
+      Base_codec.Xdr.i64 e ts;
+      Base_codec.Xdr.opaque e res)
+    rows;
+  Digest.of_string (Base_codec.Xdr.contents e)
+
+let client_table_digest t = digest_of_rows (client_rows_of_table t.clients)
+
+let checkpoint_digest ~app_digest ~client_digest =
+  Digest.combine [ app_digest; client_digest ]
+
+let export_client_table t = client_rows_of_table t.clients
+
+(* --- sending ------------------------------------------------------------ *)
+
+let seal t body =
+  M.seal t.keychain ~sender:t.id ~n_principals:t.config.n_principals body
+
+let send_one t ~dst body =
+  if t.behavior <> Mute then t.net.send ~dst (seal t body)
+
+let broadcast t body =
+  if t.behavior <> Mute then begin
+    let env = seal t body in
+    for r = 0 to t.config.n - 1 do
+      if r <> t.id then t.net.send ~dst:r env
+    done
+  end
+
+let send_reply t (reply : M.reply) =
+  let reply =
+    match t.behavior with
+    | Lie_in_replies ->
+      (* Corrupt the result: a faulty replica answering with garbage. *)
+      { reply with result = String.map (fun c -> Char.chr (Char.code c lxor 0x5a)) reply.result }
+    | Honest | Mute | Equivocate -> reply
+  in
+  send_one t ~dst:reply.client (M.Reply reply)
+
+(* --- timers ------------------------------------------------------------- *)
+
+let has_pending t =
+  Hashtbl.fold (fun _ r acc -> acc || r.pending <> None) t.clients false
+
+let cancel_vc_timer t =
+  match t.vc_timer with
+  | Some id ->
+    t.net.cancel_timer id;
+    t.vc_timer <- None
+  | None -> ()
+
+let start_vc_timer t =
+  if t.vc_timer = None && t.status = Normal then
+    t.vc_timer <-
+      Some (t.net.set_timer ~after_us:t.vc_timeout_us ~tag:"vc" ~payload:t.view)
+
+let restart_vc_timer t =
+  cancel_vc_timer t;
+  if has_pending t then start_vc_timer t
+
+(* --- checkpoints -------------------------------------------------------- *)
+
+let cp_table t seq =
+  match Hashtbl.find_opt t.cp_msgs seq with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.replace t.cp_msgs seq tbl;
+    tbl
+
+let count_matching tbl digest =
+  Hashtbl.fold (fun _ d acc -> if Digest.equal d digest then acc + 1 else acc) tbl 0
+
+let discard_log_below t seq =
+  let stale = Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.entries [] in
+  List.iter (Hashtbl.remove t.entries) stale;
+  let stale_cp = Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.cp_msgs [] in
+  List.iter (Hashtbl.remove t.cp_msgs) stale_cp;
+  let stale_own = Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.own_cps [] in
+  List.iter (Hashtbl.remove t.own_cps) stale_own
+
+let rec make_stable t seq digest =
+  if seq > t.h then begin
+    t.h <- seq;
+    t.stable_digest <- digest;
+    discard_log_below t seq;
+    t.app.discard_checkpoints_below seq;
+    if t.next_seq < seq then t.next_seq <- seq;
+    (* The primary may now have window space for queued requests. *)
+    drain_queue t
+  end
+
+and maybe_stable t seq =
+  match Hashtbl.find_opt t.own_cps seq with
+  | None -> ()
+  | Some own ->
+    if seq > t.h && count_matching (cp_table t seq) own + 1 >= Types.quorum t.config then
+      make_stable t seq own
+
+and take_checkpoint t =
+  let seq = t.last_exec in
+  let app_digest = t.app.take_checkpoint ~seq in
+  let d = checkpoint_digest ~app_digest ~client_digest:(client_table_digest t) in
+  Hashtbl.replace t.own_cps seq d;
+  t.stats.checkpoints_taken <- t.stats.checkpoints_taken + 1;
+  broadcast t (M.Checkpoint { seq; digest = d; replica = t.id });
+  maybe_stable t seq
+
+(* --- execution ---------------------------------------------------------- *)
+
+and try_execute t =
+  let continue = ref (t.status <> Fetching) in
+  while !continue do
+    let seq = t.last_exec + 1 in
+    match Hashtbl.find_opt t.entries seq with
+    | Some { committed = true; pre_prepare = Some pp; _ } ->
+      List.iter
+        (fun (r : M.request) ->
+          if r.client >= 0 then begin
+            let cr = client_rec t r.client in
+            (* A request can be ordered twice across view changes; only its
+               first ordering executes (exactly-once semantics via the
+               client-table timestamp). *)
+            if r.timestamp > cr.last_ts then begin
+              t.stats.executed_requests <- t.stats.executed_requests + 1;
+              let result =
+                t.app.execute ~client:r.client ~operation:r.operation ~nondet:pp.nondet
+                  ~read_only:false
+              in
+              cr.last_ts <- r.timestamp;
+              let reply =
+                { M.view = t.view; timestamp = r.timestamp; client = r.client; replica = t.id;
+                  result }
+              in
+              cr.last_reply <- Some reply;
+              (match cr.pending with
+              | Some p when p.timestamp <= r.timestamp -> cr.pending <- None
+              | Some _ | None -> ());
+              send_reply t reply
+            end
+            else begin
+              match cr.pending with
+              | Some p when p.timestamp <= r.timestamp -> cr.pending <- None
+              | Some _ | None -> ()
+            end
+          end)
+        pp.requests;
+      t.last_exec <- seq;
+      t.stats.executed <- t.stats.executed + 1;
+      restart_vc_timer t;
+      drain_queue t;
+      if seq mod t.config.checkpoint_period = 0 then take_checkpoint t
+    | Some _ | None -> continue := false
+  done
+
+(* --- certificates ------------------------------------------------------- *)
+
+and maybe_committed t _seq entry =
+  match entry.pre_prepare with
+  | Some pp when entry.prepared_proof <> None && not entry.committed ->
+    if count_matching entry.commits pp.digest >= Types.quorum t.config then begin
+      entry.committed <- true;
+      try_execute t
+    end
+  | Some _ | None -> ()
+
+and maybe_prepared t seq entry =
+  match entry.pre_prepare with
+  | Some pp ->
+    let primary = Types.primary t.config pp.view in
+    let count =
+      Hashtbl.fold
+        (fun r d acc -> if r <> primary && Digest.equal d pp.digest then acc + 1 else acc)
+        entry.prepares 0
+    in
+    if count >= 2 * t.config.f && entry.prepared_proof = None then begin
+      entry.prepared_proof <-
+        Some
+          {
+            M.pp_view = pp.view;
+            pp_seq = pp.seq;
+            pp_digest = pp.digest;
+            pp_requests = pp.requests;
+            pp_nondet = pp.nondet;
+          };
+      if not entry.sent_commit then begin
+        entry.sent_commit <- true;
+        Hashtbl.replace entry.commits t.id pp.digest;
+        broadcast t (M.Commit { view = pp.view; seq; digest = pp.digest; replica = t.id })
+      end;
+      maybe_committed t seq entry
+    end
+    else if entry.prepared_proof <> None then maybe_committed t seq entry
+  | None -> ()
+
+(* --- primary proposal --------------------------------------------------- *)
+
+(* Order a batch of requests as one consensus instance. *)
+and assign t (batch : M.request list) =
+  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  let operation = match batch with r :: _ -> r.M.operation | [] -> "" in
+  let nondet = t.app.propose_nondet ~operation in
+  let digest = ordering_digest batch nondet in
+  let pp = { M.view = t.view; seq; digest; requests = batch; nondet } in
+  let entry = get_entry t seq in
+  entry.pre_prepare <- Some pp;
+  List.iter
+    (fun (r : M.request) ->
+      let cr = client_rec t r.client in
+      cr.assigned_ts <- r.timestamp;
+      cr.assigned_seq <- seq)
+    batch;
+  (match t.behavior with
+  | Equivocate ->
+    (* Send conflicting nondet values to odd and even backups. *)
+    let nondet' = nondet ^ "\001" in
+    let digest' = ordering_digest batch nondet' in
+    let pp' = { pp with digest = digest'; nondet = nondet' } in
+    for dst = 0 to t.config.n - 1 do
+      if dst <> t.id then send_one t ~dst (M.Pre_prepare (if dst mod 2 = 0 then pp else pp'))
+    done
+  | Honest | Mute | Lie_in_replies -> broadcast t (M.Pre_prepare pp));
+  maybe_prepared t seq entry
+
+and inflight t = t.next_seq - t.last_exec
+
+and window_full t = t.next_seq + 1 > t.h + t.config.log_window
+
+and propose t (r : M.request) =
+  let cr = client_rec t r.client in
+  if r.timestamp < cr.assigned_ts || r.timestamp <= cr.last_ts then ()
+  else if
+    r.timestamp = cr.assigned_ts
+    && (match Hashtbl.find_opt t.entries cr.assigned_seq with
+       | Some { pre_prepare = Some pp; _ } -> pp.view = t.view
+       | Some _ | None -> false)
+  then begin
+    (* Assigned in this view already: retransmit so lost copies recover. *)
+    match Hashtbl.find_opt t.entries cr.assigned_seq with
+    | Some { pre_prepare = Some pp; _ } -> broadcast t (M.Pre_prepare pp)
+    | Some _ | None -> ()
+  end
+  else if window_full t || inflight t >= t.config.max_inflight then
+    (* Defer: the request is ordered in a batch as soon as earlier
+       instances make progress (this is where batching comes from). *)
+    Queue.add r t.queued_requests
+  else
+    (* Fresh assignment, including when an earlier assignment died with its
+       view (it never reached a quorum, or the new-view O set would have
+       re-proposed it); exactly-once execution is enforced by the
+       client-table timestamp at execution time. *)
+    assign t [ r ]
+
+and drain_queue t =
+  if Types.primary t.config t.view = t.id && t.status = Normal then begin
+    let continue = ref true in
+    while (not (Queue.is_empty t.queued_requests)) && !continue do
+      if window_full t || inflight t >= t.config.max_inflight then continue := false
+      else begin
+        (* Pop up to batch_max still-relevant requests into one instance. *)
+        let batch = ref [] in
+        let size = ref 0 in
+        while !size < t.config.batch_max && not (Queue.is_empty t.queued_requests) do
+          let r = Queue.pop t.queued_requests in
+          let cr = client_rec t r.M.client in
+          if r.M.timestamp > cr.assigned_ts && r.M.timestamp > cr.last_ts then begin
+            batch := r :: !batch;
+            incr size
+          end
+        done;
+        match List.rev !batch with [] -> () | batch -> assign t batch
+      end
+    done
+  end
+
+let is_primary t = Types.primary t.config t.view = t.id
+
+let in_window t seq = seq > t.h && seq <= t.h + t.config.log_window
+
+(* --- read-only requests ------------------------------------------------- *)
+
+let execute_read_only t (r : M.request) =
+  let result =
+    t.app.execute ~client:r.client ~operation:r.operation ~nondet:"" ~read_only:true
+  in
+  send_reply t
+    { M.view = t.view; timestamp = r.timestamp; client = r.client; replica = t.id; result }
+
+(* --- request handling --------------------------------------------------- *)
+
+let handle_request t env (r : M.request) =
+  if r.read_only then execute_read_only t r
+  else begin
+    let cr = client_rec t r.client in
+    if r.timestamp < cr.last_ts then ()
+    else if r.timestamp = cr.last_ts then begin
+      (* Retransmission of an executed request: resend the stored reply. *)
+      match cr.last_reply with
+      | Some reply -> send_reply t { reply with view = t.view; replica = t.id }
+      | None -> ()
+    end
+    else begin
+      (match cr.pending with
+      | Some p when p.timestamp >= r.timestamp -> ()
+      | Some _ | None -> cr.pending <- Some r);
+      if t.status = Normal then begin
+        if is_primary t then propose t r
+        else begin
+          (* Relay the client's own envelope so the primary can check the
+             client's MAC, and start the progress timer. *)
+          t.net.send ~dst:(Types.primary t.config t.view) env;
+          start_vc_timer t
+        end
+      end
+    end
+  end
+
+(* --- pre-prepare / prepare / commit ------------------------------------- *)
+
+let handle_pre_prepare t sender (pp : M.pre_prepare) =
+  let primary = Types.primary t.config pp.view in
+  if
+    sender = primary && pp.view = t.view && t.status = Normal && in_window t pp.seq
+    && t.id <> primary
+  then begin
+    let entry = get_entry t pp.seq in
+    (* A pre-prepare left over from an earlier view is void in this one: a
+       slot the old primary proposed but that never reached a quorum may be
+       re-proposed with different contents after the view change (observed
+       by replicas that were rebooting through the change).  Supersede it —
+       unless the entry committed, in which case the new-view computation
+       guarantees the digests agree anyway. *)
+    (match entry.pre_prepare with
+    | Some existing when existing.view < pp.view && not entry.committed ->
+      entry.pre_prepare <- None;
+      Hashtbl.reset entry.prepares;
+      Hashtbl.reset entry.commits;
+      entry.sent_commit <- false;
+      entry.prepared_proof <- None
+    | Some _ | None -> ());
+    let acceptable =
+      match entry.pre_prepare with
+      | Some existing -> Digest.equal existing.digest pp.digest
+      | None ->
+        Digest.equal (ordering_digest pp.requests pp.nondet) pp.digest
+        && List.length pp.requests <= t.config.batch_max
+        && (match pp.requests with
+           | [] -> true
+           | r :: _ -> t.app.check_nondet ~operation:r.M.operation ~nondet:pp.nondet)
+    in
+    if acceptable && entry.pre_prepare = None then begin
+      entry.pre_prepare <- Some pp;
+      List.iter
+        (fun (r : M.request) ->
+          if r.client >= 0 then begin
+            let cr = client_rec t r.client in
+            match cr.pending with
+            | Some p when p.timestamp >= r.timestamp -> ()
+            | Some _ | None -> if r.timestamp > cr.last_ts then cr.pending <- Some r
+          end)
+        pp.requests;
+      start_vc_timer t;
+      Hashtbl.replace entry.prepares t.id pp.digest;
+      broadcast t (M.Prepare { view = pp.view; seq = pp.seq; digest = pp.digest; replica = t.id });
+      maybe_prepared t pp.seq entry
+    end
+  end
+
+let handle_prepare t sender (p : M.prepare) =
+  if
+    sender = p.replica && p.view = t.view && t.status = Normal && in_window t p.seq
+    && sender <> Types.primary t.config p.view
+  then begin
+    let entry = get_entry t p.seq in
+    if not (Hashtbl.mem entry.prepares sender) then begin
+      Hashtbl.replace entry.prepares sender p.digest;
+      maybe_prepared t p.seq entry
+    end
+  end
+
+let handle_commit t sender (c : M.commit) =
+  if sender = c.replica && c.view <= t.view && in_window t c.seq then begin
+    let entry = get_entry t c.seq in
+    if not (Hashtbl.mem entry.commits sender) then begin
+      Hashtbl.replace entry.commits sender c.digest;
+      maybe_prepared t c.seq entry
+    end
+  end
+
+(* --- checkpoints and state transfer ------------------------------------- *)
+
+let fetch_target t =
+  let weak = Types.weak_quorum t.config in
+  Hashtbl.fold
+    (fun seq tbl best ->
+      if seq < t.h then best
+      else begin
+        (* Find a digest with >= f+1 votes at this seqno. *)
+        let certified =
+          Hashtbl.fold
+            (fun _ d acc ->
+              match acc with
+              | Some _ -> acc
+              | None -> if count_matching tbl d >= weak then Some d else None)
+            tbl None
+        in
+        match (certified, best) with
+        | Some d, None -> Some (seq, d)
+        | Some d, Some (bs, _) when seq > bs -> Some (seq, d)
+        | _ -> best
+      end)
+    t.cp_msgs None
+
+(* A repair fetch may target a checkpoint at or below our own execution
+   point: the replica rolls back to it and re-executes the committed log
+   suffix (deterministically), which restores any corrupt concrete state. *)
+let start_fetch_internal ?(allow_repair = false) t (seq, digest) =
+  if t.fetch_in_progress = None && (seq > t.last_exec || (allow_repair && seq >= t.h))
+  then begin
+    t.fetch_in_progress <- Some (seq, digest);
+    t.resume_vc_after_fetch <- t.status = View_changing;
+    t.status <- Fetching;
+    t.stats.fetches <- t.stats.fetches + 1;
+    cancel_vc_timer t;
+    t.app.start_fetch ~seq ~digest
+  end
+
+let maybe_fetch_check t ~stalled =
+  match fetch_target t with
+  | Some (seq, d) when seq > t.last_exec && (seq >= t.h + t.config.log_window || stalled) ->
+    (* Transfer when the log can no longer bridge the gap, or when we are
+       demonstrably stuck and a certified state exists ahead of us. *)
+    start_fetch_internal t (seq, d)
+  | Some _ | None -> ()
+
+let handle_checkpoint t sender (c : M.checkpoint) =
+  if sender = c.replica && c.seq > t.h then begin
+    let tbl = cp_table t c.seq in
+    Hashtbl.replace tbl sender c.digest;
+    maybe_stable t c.seq;
+    maybe_fetch_check t ~stalled:false
+  end
+
+let initiate_fetch t =
+  match fetch_target t with
+  | Some target -> start_fetch_internal ~allow_repair:true t target
+  | None -> ()
+
+let force_fetch t ~seq ~digest = start_fetch_internal ~allow_repair:true t (seq, digest)
+
+let fetch_complete t ~seq ~app_digest ~client_rows =
+  let client_digest = digest_of_rows client_rows in
+  let combined = checkpoint_digest ~app_digest ~client_digest in
+  (match t.fetch_in_progress with
+  | Some (target_seq, target_digest) when target_seq = seq ->
+    assert (Digest.equal combined target_digest)
+  | Some _ | None -> ());
+  (* Install the transferred last-reply table. *)
+  Hashtbl.reset t.clients;
+  List.iter
+    (fun (c, ts, result) ->
+      let cr = client_rec t c in
+      cr.last_ts <- ts;
+      cr.last_reply <-
+        Some { M.view = t.view; timestamp = ts; client = c; replica = t.id; result })
+    client_rows;
+  (* Move the execution cursor to the transferred checkpoint.  When it lies
+     below our previous position this is a rollback: the committed entries
+     still in the log re-execute deterministically on the restored state. *)
+  if seq >= t.h then t.last_exec <- seq;
+  if seq > t.h then begin
+    t.h <- seq;
+    t.stable_digest <- combined;
+    Hashtbl.replace t.own_cps seq combined;
+    discard_log_below t seq
+  end;
+  t.fetch_in_progress <- None;
+  if t.status = Fetching then begin
+    if t.resume_vc_after_fetch then begin
+      (* The fetch interrupted an unresolved view change: stay in it, with
+         its escalation timer re-armed, until NEW-VIEW or abandonment. *)
+      t.status <- View_changing;
+      t.vc_timer <-
+        Some (t.net.set_timer ~after_us:t.vc_timeout_us ~tag:"vc" ~payload:t.view)
+    end
+    else t.status <- Normal
+  end;
+  t.resume_vc_after_fetch <- false;
+  if t.next_seq < t.h then t.next_seq <- t.h;
+  try_execute t;
+  drain_queue t
+
+(* --- view changes -------------------------------------------------------- *)
+
+let prepared_proofs t =
+  Hashtbl.fold
+    (fun seq entry acc ->
+      if seq > t.h then
+        match entry.prepared_proof with Some p -> p :: acc | None -> acc
+      else acc)
+    t.entries []
+  |> List.sort (fun a b -> compare a.M.pp_seq b.M.pp_seq)
+
+let vc_table t view =
+  match Hashtbl.find_opt t.vcs view with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Hashtbl.replace t.vcs view tbl;
+    tbl
+
+(* Compute the new-view pre-prepare set O from a view-change set. *)
+let compute_o v' (vc_list : M.view_change list) =
+  let min_s = List.fold_left (fun acc vc -> max acc vc.M.last_stable) 0 vc_list in
+  let max_s =
+    List.fold_left
+      (fun acc vc ->
+        List.fold_left (fun acc p -> max acc p.M.pp_seq) acc vc.M.prepared)
+      min_s vc_list
+  in
+  let o = ref [] in
+  for seq = max_s downto min_s + 1 do
+    let best =
+      List.fold_left
+        (fun acc vc ->
+          List.fold_left
+            (fun acc p ->
+              if p.M.pp_seq <> seq then acc
+              else
+                match acc with
+                | Some b when b.M.pp_view >= p.M.pp_view -> acc
+                | Some _ | None -> Some p)
+            acc vc.M.prepared)
+        None vc_list
+    in
+    let pp =
+      match best with
+      | Some p ->
+        {
+          M.view = v';
+          seq;
+          digest = p.M.pp_digest;
+          requests = p.M.pp_requests;
+          nondet = p.M.pp_nondet;
+        }
+      | None -> { M.view = v'; seq; digest = ordering_digest [] ""; requests = []; nondet = "" }
+    in
+    o := pp :: !o
+  done;
+  (min_s, !o)
+
+let rec do_view_change t v' =
+  if v' > t.view || (v' = t.view && t.status = Normal) then begin
+    t.view <- v';
+    t.status <- View_changing;
+    t.stats.view_changes <- t.stats.view_changes + 1;
+    cancel_vc_timer t;
+    let vc =
+      {
+        M.new_view = v';
+        last_stable = t.h;
+        stable_digest = t.stable_digest;
+        prepared = prepared_proofs t;
+        replica = t.id;
+      }
+    in
+    Hashtbl.replace (vc_table t v') t.id vc;
+    broadcast t (M.View_change vc);
+    (* Escalate with a doubled (but bounded) timeout if this view change
+       stalls. *)
+    t.vc_timeout_us <- min (t.vc_timeout_us * 2) (20 * t.config.viewchange_timeout_us);
+    t.vc_timer <- Some (t.net.set_timer ~after_us:t.vc_timeout_us ~tag:"vc" ~payload:v');
+    check_new_view t v'
+  end
+
+and install_new_view t v' min_s (o : M.pre_prepare list) =
+  t.view <- v';
+  t.status <- Normal;
+  t.resume_vc_after_fetch <- false;
+  t.vc_timeout_us <- t.config.viewchange_timeout_us;
+  cancel_vc_timer t;
+  (* Certificates from earlier views are void in the new view. *)
+  List.iter
+    (fun (pp : M.pre_prepare) ->
+      let entry = get_entry t pp.seq in
+      if not entry.committed then begin
+        entry.pre_prepare <- Some pp;
+        Hashtbl.reset entry.prepares;
+        if not entry.sent_commit then Hashtbl.reset entry.commits;
+        entry.prepared_proof <- None;
+        entry.sent_commit <- false;
+        if not (is_primary t) then begin
+          Hashtbl.replace entry.prepares t.id pp.digest;
+          broadcast t
+            (M.Prepare { view = v'; seq = pp.seq; digest = pp.digest; replica = t.id })
+        end
+      end)
+    o;
+  if t.next_seq < min_s then t.next_seq <- min_s;
+  let max_o = List.fold_left (fun acc (pp : M.pre_prepare) -> max acc pp.seq) min_s o in
+  if t.next_seq < max_o then t.next_seq <- max_o;
+  if min_s > t.h then begin
+    (* We are behind the new-view's stable checkpoint: transfer state. *)
+    match fetch_target t with
+    | Some target -> start_fetch_internal t target
+    | None -> ()
+  end;
+  List.iter (fun (pp : M.pre_prepare) -> maybe_prepared t pp.seq (get_entry t pp.seq)) o;
+  if has_pending t then start_vc_timer t;
+  drain_queue t;
+  (* The new primary immediately proposes the client requests it knows are
+     still waiting; without this, liveness depends on a client
+     retransmission landing inside the view's timeout window. *)
+  if is_primary t then
+    Hashtbl.iter
+      (fun _ cr ->
+        match cr.pending with
+        | Some r when r.timestamp > cr.last_ts -> propose t r
+        | Some _ | None -> ())
+      t.clients
+
+and check_new_view t v' =
+  if Types.primary t.config v' = t.id && t.status = View_changing && t.view = v' then begin
+    let tbl = vc_table t v' in
+    if Hashtbl.length tbl >= Types.quorum t.config then begin
+      let vc_list = Hashtbl.fold (fun _ vc acc -> vc :: acc) tbl [] in
+      let min_s, o = compute_o v' vc_list in
+      let summary = List.map (fun vc -> (vc.M.replica, vc.M.last_stable)) vc_list in
+      broadcast t
+        (M.New_view { nv_view = v'; nv_view_changes = summary; nv_pre_prepares = o });
+      install_new_view t v' min_s o
+    end
+  end
+
+let handle_view_change t sender (vc : M.view_change) =
+  if sender = vc.replica && vc.new_view > 0 then begin
+    Hashtbl.replace (vc_table t vc.new_view) sender vc;
+    (* Liveness rule: join the smallest view for which f+1 replicas already
+       asked for a view change above ours. *)
+    if vc.new_view > t.view then begin
+      let higher = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun v tbl ->
+          if v > t.view then
+            Hashtbl.iter (fun r _ -> if not (Hashtbl.mem higher r) then
+                             Hashtbl.replace higher r v
+                           else if v < Hashtbl.find higher r then Hashtbl.replace higher r v)
+              tbl)
+        t.vcs;
+      if Hashtbl.length higher >= Types.weak_quorum t.config then begin
+        let target = Hashtbl.fold (fun _ v acc -> min v acc) higher max_int in
+        do_view_change t target
+      end
+    end;
+    check_new_view t vc.new_view
+  end
+
+let handle_new_view t sender (nv : M.new_view) =
+  let v' = nv.nv_view in
+  if sender = Types.primary t.config v' && v' >= t.view && sender <> t.id then begin
+    (* Recompute O from the view-change messages the primary claims to have
+       used; if we hold them all, the result must match exactly. *)
+    let tbl = vc_table t v' in
+    let vcs_used =
+      List.filter_map (fun (r, _) -> Hashtbl.find_opt tbl r) nv.nv_view_changes
+    in
+    let verifiable = List.length vcs_used = List.length nv.nv_view_changes in
+    let ok =
+      if not verifiable then List.length nv.nv_view_changes >= Types.quorum t.config
+      else begin
+        let min_s, o = compute_o v' vcs_used in
+        ignore min_s;
+        List.length o = List.length nv.nv_pre_prepares
+        && List.for_all2
+             (fun (a : M.pre_prepare) (b : M.pre_prepare) ->
+               a.seq = b.seq && Digest.equal a.digest b.digest)
+             o nv.nv_pre_prepares
+      end
+    in
+    if ok then begin
+      let min_s =
+        List.fold_left (fun acc (_, s) -> max acc s) 0 nv.nv_view_changes
+      in
+      install_new_view t v' min_s nv.nv_pre_prepares
+    end
+    else do_view_change t (v' + 1)
+  end
+
+(* --- retransmission / progress timer ------------------------------------ *)
+
+let arm_status_timer t =
+  (match t.status_timer with Some id -> t.net.cancel_timer id | None -> ());
+  t.status_timer <-
+    Some (t.net.set_timer ~after_us:(t.config.viewchange_timeout_us / 2) ~tag:"status" ~payload:0)
+
+let on_status_timer t =
+  (* Re-announce the latest own checkpoint so laggards find fetch targets,
+     and gossip progress so peers can retransmit what we are missing. *)
+  (match Hashtbl.find_opt t.own_cps t.h with
+  | Some d when t.h > 0 ->
+    broadcast t (M.Checkpoint { seq = t.h; digest = d; replica = t.id })
+  | Some _ | None -> ());
+  broadcast t
+    (M.Status { st_view = t.view; st_last_exec = t.last_exec; st_h = t.h; st_replica = t.id });
+  let stalled = t.last_exec = t.last_progress_exec in
+  if stalled && t.status = Normal then begin
+    (* Retransmit protocol messages for in-flight slots. *)
+    Hashtbl.iter
+      (fun seq entry ->
+        if seq > t.last_exec then begin
+          match entry.pre_prepare with
+          | Some pp when pp.view = t.view ->
+            if is_primary t then broadcast t (M.Pre_prepare pp)
+            else if Hashtbl.mem entry.prepares t.id then
+              broadcast t
+                (M.Prepare { view = pp.view; seq; digest = pp.digest; replica = t.id });
+            if entry.sent_commit then
+              broadcast t
+                (M.Commit { view = pp.view; seq; digest = pp.digest; replica = t.id })
+          | Some _ | None -> ()
+        end)
+      t.entries;
+    maybe_fetch_check t ~stalled:true
+  end;
+  t.last_progress_exec <- t.last_exec;
+  arm_status_timer t
+
+let start_status_timer t = if t.status_timer = None then arm_status_timer t
+
+(* Called after a proactive-recovery reboot: timers that fired while the
+   node was down were dropped, so re-arm them. *)
+let on_reboot t =
+  t.vc_timer <- None;
+  if has_pending t then start_vc_timer t;
+  arm_status_timer t
+
+let abort_fetch t =
+  t.fetch_in_progress <- None;
+  if t.status = Fetching then t.status <- Normal
+
+(* A peer announced it is behind us: retransmit, directly to it, the
+   protocol messages it needs to make progress — our pre-prepares if we led
+   their view of those slots, plus our prepares, commits and checkpoint.
+   This is PBFT's status/retransmission mechanism, which gives liveness when
+   a replica missed messages while rebooting. *)
+let handle_status t sender (st : M.status_msg) =
+  if sender = st.st_replica then Hashtbl.replace t.peer_views sender st.st_view;
+  (* View abandonment: a replica that escalated views alone (e.g. around a
+     proactive recovery) can never gather 2f+1 VIEW-CHANGEs — had f+1 peers
+     been with it, the group would have joined.  When a quorum of peers
+     reports lower views and we hold no prepared certificate above them,
+     rejoin the group's view; nothing could have committed in ours. *)
+  if sender = st.st_replica && t.status = View_changing && st.st_view < t.view then begin
+    let lower, target =
+      Hashtbl.fold
+        (fun _ v (count, best) -> if v < t.view then (count + 1, max best v) else (count, best))
+        t.peer_views (0, 0)
+    in
+    let prepared_above =
+      Hashtbl.fold
+        (fun _ e acc ->
+          acc
+          || (match e.prepared_proof with Some p -> p.M.pp_view > target | None -> false))
+        t.entries false
+    in
+    if lower >= Types.quorum t.config - 1 && not prepared_above then begin
+      t.view <- target;
+      t.status <- Normal;
+      t.vc_timeout_us <- t.config.viewchange_timeout_us;
+      cancel_vc_timer t;
+      if has_pending t then start_vc_timer t
+    end
+  end;
+  if sender = st.st_replica && st.st_view <= t.view then begin
+    (* Checkpoint proof so it can garbage-collect / find fetch targets. *)
+    (match Hashtbl.find_opt t.own_cps t.h with
+    | Some d when t.h > st.st_h -> send_one t ~dst:sender (M.Checkpoint { seq = t.h; digest = d; replica = t.id })
+    | Some _ | None -> ());
+    if st.st_view = t.view && st.st_last_exec < t.last_exec then begin
+      let upper = min t.last_exec (st.st_h + t.config.log_window) in
+      let unreplayable = ref false in
+      for seq = st.st_last_exec + 1 to upper do
+        match Hashtbl.find_opt t.entries seq with
+        | Some ({ pre_prepare = Some pp; _ } as entry) when pp.view = t.view ->
+          if Types.primary t.config pp.view = t.id then
+            send_one t ~dst:sender (M.Pre_prepare pp)
+          else if Hashtbl.mem entry.prepares t.id then
+            send_one t ~dst:sender
+              (M.Prepare { view = pp.view; seq; digest = pp.digest; replica = t.id });
+          if entry.sent_commit then
+            send_one t ~dst:sender
+              (M.Commit { view = pp.view; seq; digest = pp.digest; replica = t.id })
+        | Some { pre_prepare = Some pp; committed = true; _ } when pp.view < t.view ->
+          (* Committed under an earlier primary: the agreement messages are
+             void in this view and will never be re-run. *)
+          unreplayable := true
+        | Some _ -> ()
+        | None -> unreplayable := true
+      done;
+      (* The laggard cannot be fed messages for part of its gap; give it a
+         state-transfer target instead by checkpointing our current state
+         off-schedule (every up-to-date replica does the same on seeing the
+         laggard's STATUS, so the checkpoint gets certified). *)
+      if !unreplayable && not (Hashtbl.mem t.own_cps t.last_exec) then take_checkpoint t
+    end
+  end
+
+(* --- entry points -------------------------------------------------------- *)
+
+let on_timer t ~tag ~payload =
+  match tag with
+  | "vc" ->
+    if t.behavior <> Mute then begin
+      if t.status = View_changing && t.view = payload then do_view_change t (t.view + 1)
+      else if t.status = Normal && t.view = payload && has_pending t then begin
+        t.vc_timer <- None;
+        do_view_change t (t.view + 1)
+      end
+    end
+  | "status" -> if t.behavior <> Mute then on_status_timer t else ()
+  | _ -> ()
+
+let receive t (env : M.envelope) =
+  if not (M.verify t.keychain ~receiver:t.id env) then
+    t.stats.rejected_macs <- t.stats.rejected_macs + 1
+  else begin
+    match env.body with
+    | M.Request r ->
+      (* Only the client's own (possibly relayed) envelope is acceptable:
+         the MAC was checked under the key shared with [env.sender], so a
+         replica cannot forge requests on a client's behalf. *)
+      if r.client = env.sender then handle_request t env r
+    | M.Pre_prepare pp -> handle_pre_prepare t env.sender pp
+    | M.Prepare p -> handle_prepare t env.sender p
+    | M.Commit c -> handle_commit t env.sender c
+    | M.Checkpoint c -> handle_checkpoint t env.sender c
+    | M.View_change vc -> handle_view_change t env.sender vc
+    | M.New_view nv -> handle_new_view t env.sender nv
+    | M.Status st -> handle_status t env.sender st
+    | M.Reply _ -> ()
+  end
+
+let create ~config ~id ~keychain ~net ~app =
+  let t =
+    {
+      config;
+      id;
+      keychain;
+      net;
+      app;
+      behavior = Honest;
+      view = 0;
+      status = Normal;
+      entries = Hashtbl.create 64;
+      clients = Hashtbl.create 16;
+      cp_msgs = Hashtbl.create 16;
+      own_cps = Hashtbl.create 16;
+      h = 0;
+      stable_digest = Digest.zero;
+      last_exec = 0;
+      next_seq = 0;
+      queued_requests = Queue.create ();
+      vcs = Hashtbl.create 8;
+      vc_timer = None;
+      vc_timeout_us = config.viewchange_timeout_us;
+      status_timer = None;
+      last_progress_exec = 0;
+      fetch_in_progress = None;
+      resume_vc_after_fetch = false;
+      peer_views = Hashtbl.create 8;
+      stats =
+        {
+          executed = 0;
+          executed_requests = 0;
+          checkpoints_taken = 0;
+          view_changes = 0;
+          fetches = 0;
+          rejected_macs = 0;
+        };
+    }
+  in
+  (* Initial checkpoint at seqno 0 so watermark logic is uniform. *)
+  let app_digest = app.take_checkpoint ~seq:0 in
+  let d = checkpoint_digest ~app_digest ~client_digest:(client_table_digest t) in
+  Hashtbl.replace t.own_cps 0 d;
+  t.stable_digest <- d;
+  t
+
+let id t = t.id
+
+let view t = t.view
+
+let last_executed t = t.last_exec
+
+let low_watermark t = t.h
+
+let status t = t.status
+
+let stats t = t.stats
+
+let set_behavior t b = t.behavior <- b
+
+let behavior t = t.behavior

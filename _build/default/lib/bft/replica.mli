@@ -1,0 +1,134 @@
+(** The PBFT replica protocol state machine.
+
+    One value of type {!t} implements the full replica side of the
+    Castro-Liskov protocol: request ordering through pre-prepare / prepare /
+    commit, checkpointing with log garbage collection, view changes, and the
+    triggers for hierarchical state transfer (the transfer itself is run by
+    the BASE runtime through the {!app} hooks).
+
+    The module is transport-agnostic: it never touches the simulator
+    directly.  The runtime supplies {!net} callbacks for sending envelopes
+    and arming timers, and an {!app} record implementing the service
+    (normally a BASE conformance wrapper). *)
+
+module Digest = Base_crypto.Digest_t
+
+(** Upcalls into the replicated service (implemented by [Base_core]). *)
+type app = {
+  execute : client:int -> operation:string -> nondet:string -> read_only:bool -> string;
+      (** Execute one operation and return the marshalled result. *)
+  propose_nondet : operation:string -> string;
+      (** Primary-side proposal of non-deterministic values (e.g. the
+          operation timestamp read from the local clock). *)
+  check_nondet : operation:string -> nondet:string -> bool;
+      (** Backup-side sanity check of the primary's proposal. *)
+  take_checkpoint : seq:Types.seqno -> Digest.t;
+      (** Record a checkpoint of the abstract state at [seq] and return its
+          digest. *)
+  discard_checkpoints_below : Types.seqno -> unit;
+  start_fetch : seq:Types.seqno -> digest:Digest.t -> unit;
+      (** Bring the service to the certified checkpoint [(seq, digest)]
+          (asynchronously); the runtime calls {!fetch_complete} when done.
+          [digest] is the {e combined} checkpoint digest (see
+          {!checkpoint_digest}). *)
+}
+
+(** Transport callbacks provided by the runtime. *)
+type net = {
+  send : dst:int -> Message.envelope -> unit;
+  set_timer : after_us:int -> tag:string -> payload:int -> int;
+  cancel_timer : int -> unit;
+}
+
+(** Fault-injection behaviours (Byzantine replicas for E6/E9). *)
+type behavior =
+  | Honest
+  | Mute  (** participates in nothing — a crashed or wedged replica *)
+  | Lie_in_replies  (** sends corrupted results to clients *)
+  | Equivocate  (** as primary, proposes conflicting pre-prepares *)
+
+type status = Normal | View_changing | Fetching
+
+type stats = {
+  mutable executed : int;  (** consensus instances executed *)
+  mutable executed_requests : int;  (** client requests executed (batching makes this larger) *)
+  mutable checkpoints_taken : int;
+  mutable view_changes : int;
+  mutable fetches : int;
+  mutable rejected_macs : int;
+}
+
+type t
+
+val create :
+  config:Types.config ->
+  id:int ->
+  keychain:Base_crypto.Auth.keychain ->
+  net:net ->
+  app:app ->
+  t
+(** A fresh replica in view 0 with an empty log.  The initial-state
+    checkpoint (seq 0) is taken immediately. *)
+
+val id : t -> int
+
+val view : t -> Types.view
+
+val is_primary : t -> bool
+
+val last_executed : t -> Types.seqno
+
+val low_watermark : t -> Types.seqno
+
+val status : t -> status
+
+val stats : t -> stats
+
+val set_behavior : t -> behavior -> unit
+
+val behavior : t -> behavior
+
+val receive : t -> Message.envelope -> unit
+(** Handle one authenticated protocol message (invalid MACs are counted and
+    dropped). *)
+
+val on_timer : t -> tag:string -> payload:int -> unit
+
+val client_table_digest : t -> Digest.t
+(** Digest of the last-reply table; part of every checkpoint digest. *)
+
+val checkpoint_digest : app_digest:Digest.t -> client_digest:Digest.t -> Digest.t
+(** The combined digest bound by CHECKPOINT messages:
+    [combine [app; client]]. *)
+
+val export_client_table : t -> (int * int64 * string) list
+(** [(client, timestamp, result)] rows, sorted by client; transferred
+    alongside abstract objects during state transfer. *)
+
+val fetch_complete :
+  t -> seq:Types.seqno -> app_digest:Digest.t -> client_rows:(int * int64 * string) list -> unit
+(** Called by the runtime when state transfer finished: installs the client
+    table, advances watermarks to [seq] and resumes normal processing. *)
+
+val initiate_fetch : t -> unit
+(** Force a state-transfer round against the best certified checkpoint known
+    (used right after proactive recovery). *)
+
+val fetch_target : t -> (Types.seqno * Digest.t) option
+(** Highest checkpoint certified by f+1 distinct replicas, if any. *)
+
+val start_status_timer : t -> unit
+(** Arm the periodic retransmission/progress timer (idempotent). *)
+
+val on_reboot : t -> unit
+(** Re-arm timers that were dropped while the node was down (proactive
+    recovery). *)
+
+val abort_fetch : t -> unit
+(** Abandon an in-flight state transfer (e.g. the watchdog rebooted us in
+    the middle of one). *)
+
+val force_fetch : t -> seq:Types.seqno -> digest:Digest.t -> unit
+(** Start a state transfer even when [seq] equals the replica's own last
+    executed seqno — used after proactive recovery to {e repair} a possibly
+    corrupt local state against the certified checkpoint. *)

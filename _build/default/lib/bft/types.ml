@@ -1,0 +1,46 @@
+(** Shared protocol types and configuration for the PBFT substrate. *)
+
+type view = int
+
+type seqno = int
+
+(** Static system configuration.  Replicas occupy engine node ids
+    [0 .. n-1]; clients use ids [>= n]. *)
+type config = {
+  n : int;  (** number of replicas, [n = 3f + 1] *)
+  f : int;  (** tolerated faults *)
+  checkpoint_period : int;  (** the paper's [k]: checkpoint every k-th request *)
+  log_window : int;  (** [L]: high watermark is [h + L]; a multiple of [k] *)
+  client_timeout_us : int;  (** client retransmission timer *)
+  viewchange_timeout_us : int;  (** backup progress timer *)
+  n_principals : int;  (** replicas + clients, for MAC keychains *)
+  batch_max : int;  (** max client requests ordered per consensus instance *)
+  max_inflight : int;  (** proposals outstanding before the primary batches *)
+}
+
+let make_config ?(checkpoint_period = 128) ?(log_window = 256)
+    ?(client_timeout_us = 150_000) ?(viewchange_timeout_us = 500_000) ?(batch_max = 16)
+    ?(max_inflight = 8) ~f ~n_clients () =
+  let n = (3 * f) + 1 in
+  {
+    n;
+    f;
+    checkpoint_period;
+    log_window;
+    client_timeout_us;
+    viewchange_timeout_us;
+    n_principals = n + n_clients;
+    batch_max;
+    max_inflight;
+  }
+
+let primary config view = view mod config.n
+
+let replica_ids config = List.init config.n Fun.id
+
+(** Quorum sizes. *)
+let quorum config = (2 * config.f) + 1
+
+let weak_quorum config = config.f + 1
+
+let is_replica config id = id >= 0 && id < config.n

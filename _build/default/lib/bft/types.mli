@@ -1,0 +1,45 @@
+(** Shared protocol types and static configuration for the PBFT substrate. *)
+
+type view = int
+
+type seqno = int
+
+(** Static system configuration.  Replicas occupy simulator node ids
+    [0 .. n-1]; clients use ids [n ..]; one extra id is reserved for the
+    recovery orchestrator. *)
+type config = {
+  n : int;  (** number of replicas, always [3f + 1] *)
+  f : int;  (** tolerated Byzantine faults *)
+  checkpoint_period : int;  (** the paper's [k]: checkpoint every k-th request *)
+  log_window : int;  (** [L]: the high watermark is [h + L]; a multiple of [k] *)
+  client_timeout_us : int;  (** client retransmission timer *)
+  viewchange_timeout_us : int;  (** backup progress timer before a view change *)
+  n_principals : int;  (** replicas + clients (MAC keychain universe) *)
+  batch_max : int;  (** max client requests ordered per consensus instance *)
+  max_inflight : int;  (** proposals outstanding before the primary batches *)
+}
+
+val make_config :
+  ?checkpoint_period:int ->
+  ?log_window:int ->
+  ?client_timeout_us:int ->
+  ?viewchange_timeout_us:int ->
+  ?batch_max:int ->
+  ?max_inflight:int ->
+  f:int ->
+  n_clients:int ->
+  unit ->
+  config
+
+val primary : config -> view -> int
+(** The primary of a view: [view mod n]. *)
+
+val replica_ids : config -> int list
+
+val quorum : config -> int
+(** [2f + 1]. *)
+
+val weak_quorum : config -> int
+(** [f + 1]: any set this large contains a correct replica. *)
+
+val is_replica : config -> int -> bool

@@ -1,0 +1,1 @@
+lib/codec/xdr.ml: Buffer Char Int64 List Printf String

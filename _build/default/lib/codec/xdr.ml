@@ -1,0 +1,97 @@
+type encoder = Buffer.t
+
+exception Decode_error of string
+
+let encoder () = Buffer.create 256
+
+let u32 buf v =
+  if v < 0 || v > 0xffffffff then invalid_arg "Xdr.u32: out of range";
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (v land 0xff))
+
+let i64 buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+  done
+
+let bool buf b = u32 buf (if b then 1 else 0)
+
+let pad_len n = (4 - (n mod 4)) mod 4
+
+let opaque buf s =
+  u32 buf (String.length s);
+  Buffer.add_string buf s;
+  for _ = 1 to pad_len (String.length s) do
+    Buffer.add_char buf '\000'
+  done
+
+let str = opaque
+
+let list buf enc xs =
+  u32 buf (List.length xs);
+  List.iter (enc buf) xs
+
+let option buf enc = function
+  | None -> u32 buf 0
+  | Some x ->
+    u32 buf 1;
+    enc buf x
+
+let contents = Buffer.contents
+
+type decoder = { data : string; mutable pos : int }
+
+let decoder data = { data; pos = 0 }
+
+let need d n =
+  if d.pos + n > String.length d.data then raise (Decode_error "truncated input")
+
+let read_u32 d =
+  need d 4;
+  let b i = Char.code d.data.[d.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  d.pos <- d.pos + 4;
+  v
+
+let read_i64 d =
+  need d 8;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code d.data.[d.pos + i]))
+  done;
+  d.pos <- d.pos + 8;
+  !v
+
+let read_bool d =
+  match read_u32 d with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Decode_error (Printf.sprintf "bad bool discriminant %d" n))
+
+let read_opaque d =
+  let len = read_u32 d in
+  need d (len + pad_len len);
+  let s = String.sub d.data d.pos len in
+  d.pos <- d.pos + len + pad_len len;
+  s
+
+let read_str = read_opaque
+
+let read_list d dec =
+  let n = read_u32 d in
+  if n > String.length d.data - d.pos then raise (Decode_error "implausible list length");
+  List.init n (fun _ -> dec d)
+
+let read_option d dec =
+  match read_u32 d with
+  | 0 -> None
+  | 1 -> Some (dec d)
+  | n -> raise (Decode_error (Printf.sprintf "bad option discriminant %d" n))
+
+let expect_end d =
+  if d.pos <> String.length d.data then raise (Decode_error "trailing bytes")
+
+let remaining d = String.length d.data - d.pos

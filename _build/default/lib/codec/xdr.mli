@@ -1,0 +1,62 @@
+(** XDR-style external data representation (RFC 1014 subset).
+
+    The paper encodes every entry of the abstract file-service state with XDR
+    so that heterogeneous replicas agree on the byte-level value of the
+    abstract state.  This module provides the encoder/decoder pair used for
+    abstract objects and protocol payloads.
+
+    Conventions follow RFC 1014: all quantities are big-endian and padded to
+    4-byte multiples; variable-length data is length-prefixed. *)
+
+type encoder
+
+val encoder : unit -> encoder
+
+val u32 : encoder -> int -> unit
+(** Encode an unsigned 32-bit quantity.  Raises [Invalid_argument] if the
+    value does not fit. *)
+
+val i64 : encoder -> int64 -> unit
+
+val bool : encoder -> bool -> unit
+
+val opaque : encoder -> string -> unit
+(** Variable-length opaque data: u32 length + bytes + padding. *)
+
+val str : encoder -> string -> unit
+(** Same wire format as {!opaque}; kept separate for readability. *)
+
+val list : encoder -> (encoder -> 'a -> unit) -> 'a list -> unit
+(** u32 count followed by each element. *)
+
+val option : encoder -> (encoder -> 'a -> unit) -> 'a option -> unit
+
+val contents : encoder -> string
+(** The bytes encoded so far. *)
+
+(** Decoding raises {!Decode_error} on malformed input — truncation, bad
+    discriminants, or trailing garbage (via {!expect_end}). *)
+
+exception Decode_error of string
+
+type decoder
+
+val decoder : string -> decoder
+
+val read_u32 : decoder -> int
+
+val read_i64 : decoder -> int64
+
+val read_bool : decoder -> bool
+
+val read_opaque : decoder -> string
+
+val read_str : decoder -> string
+
+val read_list : decoder -> (decoder -> 'a) -> 'a list
+
+val read_option : decoder -> (decoder -> 'a) -> 'a option
+
+val expect_end : decoder -> unit
+
+val remaining : decoder -> int

@@ -1,0 +1,1 @@
+lib/crypto/auth.ml: Array Base_util Bytes Hmac

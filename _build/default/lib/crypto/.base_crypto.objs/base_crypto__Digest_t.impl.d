@@ -1,0 +1,1 @@
+lib/crypto/digest_t.ml: Base_util Format Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/sha256.ml: Array Base_util Bytes Char Int64 List String

@@ -1,0 +1,49 @@
+type keychain = {
+  id : int;
+  keys : string array; (* session key with each peer *)
+  epochs : int array;
+  prng : Base_util.Prng.t; (* key-refresh randomness *)
+}
+
+let session_key prng = Bytes.unsafe_to_string (Base_util.Prng.bytes prng 32)
+
+let create ~seed ~n_principals =
+  let prng = Base_util.Prng.create seed in
+  let chains =
+    Array.init n_principals (fun id ->
+        {
+          id;
+          keys = Array.make n_principals "";
+          epochs = Array.make n_principals 0;
+          prng = Base_util.Prng.split prng;
+        })
+  in
+  for i = 0 to n_principals - 1 do
+    for j = i to n_principals - 1 do
+      let key = session_key prng in
+      chains.(i).keys.(j) <- key;
+      chains.(j).keys.(i) <- key
+    done
+  done;
+  chains
+
+let epoch chain peer = chain.epochs.(peer)
+
+let refresh_keys chains i =
+  let me = chains.(i) in
+  Array.iteri
+    (fun j peer ->
+      if j <> i then begin
+        let key = session_key me.prng in
+        me.keys.(j) <- key;
+        peer.keys.(i) <- key;
+        me.epochs.(j) <- me.epochs.(j) + 1;
+        peer.epochs.(i) <- peer.epochs.(i) + 1
+      end)
+    chains
+
+let mac_for chain ~receiver msg = Hmac.mac ~key:chain.keys.(receiver) msg
+
+let authenticator chain ~n msg = Array.init n (fun receiver -> mac_for chain ~receiver msg)
+
+let check chain ~sender msg ~mac = Hmac.verify ~key:chain.keys.(sender) msg ~tag:mac

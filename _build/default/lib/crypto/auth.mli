@@ -1,0 +1,36 @@
+(** Pairwise MAC authenticators, as used by the BFT library.
+
+    Every pair of principals (replicas and clients) shares a symmetric session
+    key.  A message multicast to all replicas carries an {e authenticator}: a
+    vector with one MAC per receiver.  A Byzantine principal can send
+    arbitrary messages but cannot forge a MAC for a key it does not hold —
+    this module computes and checks real HMACs, so the simulator enforces
+    that property by construction rather than by fiat.
+
+    Proactive recovery refreshes a replica's keys ({!refresh_keys}), which
+    invalidates MACs an attacker might have stolen before the recovery. *)
+
+type keychain
+(** The key material held by one principal. *)
+
+val create : seed:int64 -> n_principals:int -> keychain array
+(** [create ~seed ~n_principals] builds a consistent set of keychains: the
+    session key between principals [i] and [j] is shared by keychains [i] and
+    [j] and known to nobody else. *)
+
+val epoch : keychain -> int -> int
+(** Current key epoch between the holder and the given peer. *)
+
+val refresh_keys : keychain array -> int -> unit
+(** [refresh_keys chains i] gives principal [i] fresh session keys with every
+    peer (simulating the key exchange performed after a reboot); the peers'
+    keychains are updated accordingly and the epoch bumps. *)
+
+val mac_for : keychain -> receiver:int -> string -> string
+(** MAC of the message for one receiver, under the sender/receiver key. *)
+
+val authenticator : keychain -> n:int -> string -> string array
+(** MAC vector for receivers [0 .. n-1]. *)
+
+val check : keychain -> sender:int -> string -> mac:string -> bool
+(** Verify a received MAC under the receiver's key with [sender]. *)

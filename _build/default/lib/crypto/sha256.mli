@@ -1,0 +1,25 @@
+(** SHA-256 (FIPS 180-4), implemented from the specification.
+
+    Used for message digests, Merkle partition trees and as the PRF inside
+    {!Hmac}.  The implementation is pure OCaml and processes input
+    incrementally, so large abstract objects can be hashed without copies. *)
+
+type ctx
+
+val init : unit -> ctx
+
+val update : ctx -> string -> unit
+
+val update_bytes : ctx -> bytes -> pos:int -> len:int -> unit
+
+val finalize : ctx -> string
+(** 32-byte binary digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot hash: 32-byte binary digest of the input. *)
+
+val digest_list : string list -> string
+(** Hash of the concatenation of the inputs, without materialising it. *)
+
+val hex : string -> string
+(** [hex s] is the conventional lowercase hex rendering of [digest s]. *)

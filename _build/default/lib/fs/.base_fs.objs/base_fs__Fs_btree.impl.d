@@ -1,0 +1,1 @@
+lib/fs/fs_btree.ml: Array Base_nfs Base_util Bytes Char Hashtbl Int64 List Map Option Printf Server_intf String

@@ -1,0 +1,1 @@
+lib/fs/fs_btree.mli: Server_intf

@@ -1,0 +1,1 @@
+lib/fs/fs_fat.mli: Server_intf

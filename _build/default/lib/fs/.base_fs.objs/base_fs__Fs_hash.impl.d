@@ -1,0 +1,1 @@
+lib/fs/fs_hash.ml: Array Base_nfs Base_util Bytes Char Hashtbl List Option Server_intf String

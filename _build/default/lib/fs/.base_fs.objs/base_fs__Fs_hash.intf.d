@@ -1,0 +1,1 @@
+lib/fs/fs_hash.mli: Server_intf

@@ -1,0 +1,1 @@
+lib/fs/fs_inode.ml: Array Base_nfs Base_util Bytes Char List Option Printf Server_intf String

@@ -1,0 +1,1 @@
+lib/fs/fs_inode.mli: Server_intf

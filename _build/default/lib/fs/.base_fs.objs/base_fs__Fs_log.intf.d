@@ -1,0 +1,1 @@
+lib/fs/fs_log.mli: Server_intf

@@ -1,0 +1,1 @@
+lib/fs/server_intf.ml: Base_nfs Base_util String

@@ -1,0 +1,11 @@
+(** "CatFS": a catalogue-based (HFS-flavoured) file-system implementation.
+
+    A single ordered catalogue maps [(parent id, name)] to children with
+    case-insensitive collation; node ids are recycled smallest-first; the
+    clock ticks in whole milliseconds; handles carry a per-session nonce. *)
+
+type t
+
+val make : seed:int64 -> now:(unit -> int64) -> t
+
+val create : t -> Server_intf.t

@@ -1,0 +1,15 @@
+(** "FatFS": a FAT-style file-system implementation.
+
+    File contents live in fixed-size clusters linked through a file
+    allocation table; directories are tables of slots.  Quirks (masked by
+    the conformance wrapper): cluster allocation is next-fit behind a
+    rotating cursor, readdir order is directory-slot order (deleted entries
+    leave tombstones that later creates reuse), timestamps have two-second
+    granularity like real FAT, and handles embed a mount generation that
+    changes on every restart. *)
+
+type t
+
+val make : seed:int64 -> now:(unit -> int64) -> t
+
+val create : t -> Server_intf.t

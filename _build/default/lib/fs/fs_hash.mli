@@ -1,0 +1,13 @@
+(** "HashFS": a path-keyed file-system implementation.
+
+    Every object lives in one hash table keyed by its full path; readdir
+    order is hash order, handles are random volatile tokens, and renames
+    re-key whole subtrees.  This is also the implementation carrying the
+    deterministic latent bug used by the N-version experiment (armed with
+    {!Server_intf.t.set_poison}). *)
+
+type t
+
+val make : seed:int64 -> now:(unit -> int64) -> t
+
+val create : t -> Server_intf.t

@@ -1,0 +1,16 @@
+(** "UnixFS": a classic inode-table file-system implementation.
+
+    One of the four off-the-shelf implementations the replicated file
+    service can run behind its conformance wrapper.  Quirks (all masked by
+    the wrapper): LIFO inode recycling, insertion-order directories, file
+    handles salted per boot, timestamps from the host clock. *)
+
+type t
+
+val make : seed:int64 -> now:(unit -> int64) -> t
+(** [make ~seed ~now] creates an empty file system whose internal
+    non-determinism derives from [seed] and whose clock is [now] (typically
+    the replica's skewed local clock). *)
+
+val create : t -> Server_intf.t
+(** The NFS-server face of the instance. *)

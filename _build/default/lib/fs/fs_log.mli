@@ -1,0 +1,11 @@
+(** "LogFS": a log-structured file-system implementation.
+
+    Updates append immutable node versions to a compacting log; handles
+    encode a boot epoch and die on restart; directories list entries in
+    reverse insertion order; the clock has a fixed boot offset. *)
+
+type t
+
+val make : seed:int64 -> now:(unit -> int64) -> t
+
+val create : t -> Server_intf.t

@@ -1,0 +1,1 @@
+lib/nfs/abstract_spec.ml: Array Base_codec List Nfs_proto Nfs_types Option Printf String

@@ -1,0 +1,1 @@
+lib/nfs/abstract_spec.mli: Nfs_proto Nfs_types

@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.ml: Base_codec Buffer List Nfs_proto Nfs_types String

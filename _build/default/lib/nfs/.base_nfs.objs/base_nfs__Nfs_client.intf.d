@@ -1,0 +1,1 @@
+lib/nfs/nfs_client.mli: Nfs_proto Nfs_types

@@ -1,0 +1,1 @@
+lib/nfs/nfs_proto.ml: Base_codec Nfs_types Printf

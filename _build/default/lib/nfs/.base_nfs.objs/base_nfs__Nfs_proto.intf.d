@@ -1,0 +1,1 @@
+lib/nfs/nfs_proto.mli: Nfs_types

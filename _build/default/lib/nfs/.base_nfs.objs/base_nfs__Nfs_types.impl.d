@@ -1,0 +1,1 @@
+lib/nfs/nfs_types.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/oodb/oodb.ml: Base_util Bytes Hashtbl List

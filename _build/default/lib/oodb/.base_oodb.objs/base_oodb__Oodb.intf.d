@@ -1,0 +1,1 @@
+lib/oodb/oodb.mli:

@@ -1,0 +1,1 @@
+lib/oodb/oodb_proto.ml: Base_codec Printf

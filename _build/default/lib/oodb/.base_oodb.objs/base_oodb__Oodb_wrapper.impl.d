@@ -1,0 +1,1 @@
+lib/oodb/oodb_wrapper.ml: Array Base_codec Base_core Hashtbl List Oodb Oodb_proto Option Printf

@@ -1,0 +1,1 @@
+lib/oodb/oodb_wrapper.mli: Base_core

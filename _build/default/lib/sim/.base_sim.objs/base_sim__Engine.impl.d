@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Base_util Format Hashtbl Int64 List Printf Sim_time

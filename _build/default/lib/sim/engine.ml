@@ -1,0 +1,229 @@
+module Prng = Base_util.Prng
+
+type 'msg event =
+  | Deliver of { src : int; msg : 'msg }
+  | Timer of { tag : string; payload : int }
+
+type 'msg config = {
+  seed : int64;
+  size_of : 'msg -> int;
+  label_of : 'msg -> string;
+  latency_us : int;
+  jitter_us : int;
+  bandwidth_bps : int;
+  drop_p : float;
+  clock_skew_us : int;
+  clock_drift_ppm : int;
+}
+
+let default_config ~size_of ~label_of =
+  {
+    seed = 1L;
+    size_of;
+    label_of;
+    latency_us = 60;
+    jitter_us = 15;
+    bandwidth_bps = 100_000_000;
+    drop_p = 0.0;
+    clock_skew_us = 50_000;
+    clock_drift_ppm = 100;
+  }
+
+type counters = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+  mutable recv_bytes : int;
+  mutable dropped_msgs : int;
+}
+
+let fresh_counters () =
+  { sent_msgs = 0; sent_bytes = 0; recv_msgs = 0; recv_bytes = 0; dropped_msgs = 0 }
+
+type 'msg node = {
+  handler : 'msg t -> 'msg event -> unit;
+  mutable up : bool;
+  clock_offset : int64;
+  clock_drift : float; (* multiplicative, close to 1.0 *)
+  counters : counters;
+}
+
+and 'msg queued =
+  | Q_deliver of { src : int; dst : int; msg : 'msg; size : int }
+  | Q_timer of { id : int; node : int; tag : string; payload : int }
+
+and 'msg t = {
+  config : 'msg config;
+  rng : Prng.t;
+  queue : (Sim_time.t * 'msg queued) Base_util.Heap.t;
+  nodes : (int, 'msg node) Hashtbl.t;
+  mutable time : Sim_time.t;
+  mutable next_timer_id : int;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable partition_groups : (int list * int list) option;
+  totals : counters;
+  mutable tracer : (Sim_time.t -> string -> unit) option;
+}
+
+let create config =
+  {
+    config;
+    rng = Prng.create config.seed;
+    queue = Base_util.Heap.create ~cmp:(fun (a, _) (b, _) -> Sim_time.compare a b);
+    nodes = Hashtbl.create 16;
+    time = Sim_time.zero;
+    next_timer_id = 0;
+    cancelled = Hashtbl.create 16;
+    partition_groups = None;
+    totals = fresh_counters ();
+    tracer = None;
+  }
+
+let trace t fmt =
+  Format.kasprintf
+    (fun s -> match t.tracer with None -> () | Some f -> f t.time s)
+    fmt
+
+let add_node t ~id handler =
+  if Hashtbl.mem t.nodes id then invalid_arg "Engine.add_node: duplicate id";
+  (* Offsets are non-negative (clocks ahead of virtual time by up to twice
+     the skew) so local wall clocks never read negative near the origin. *)
+  let skew = t.config.clock_skew_us in
+  let offset = if skew = 0 then 0L else Int64.of_int (Prng.int t.rng (2 * skew)) in
+  let ppm = t.config.clock_drift_ppm in
+  let drift =
+    if ppm = 0 then 1.0 else 1.0 +. (float_of_int (Prng.int t.rng (2 * ppm) - ppm) /. 1e6)
+  in
+  Hashtbl.replace t.nodes id
+    { handler; up = true; clock_offset = offset; clock_drift = drift; counters = fresh_counters () }
+
+let node_count t = Hashtbl.length t.nodes
+
+let get_node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" id)
+
+let set_node_up t id up = (get_node t id).up <- up
+
+let node_is_up t id = (get_node t id).up
+
+let now t = t.time
+
+let local_clock t id =
+  let n = get_node t id in
+  Int64.add (Int64.of_float (Int64.to_float t.time *. n.clock_drift)) n.clock_offset
+
+let blocked t src dst =
+  match t.partition_groups with
+  | None -> false
+  | Some (a, b) -> (List.mem src a && List.mem dst b) || (List.mem src b && List.mem dst a)
+
+let send t ~src ~dst msg =
+  let size = t.config.size_of msg in
+  let sender = get_node t src in
+  sender.counters.sent_msgs <- sender.counters.sent_msgs + 1;
+  sender.counters.sent_bytes <- sender.counters.sent_bytes + size;
+  t.totals.sent_msgs <- t.totals.sent_msgs + 1;
+  t.totals.sent_bytes <- t.totals.sent_bytes + size;
+  let dropped =
+    blocked t src dst
+    || (t.config.drop_p > 0.0 && Prng.bernoulli t.rng t.config.drop_p)
+  in
+  if dropped then begin
+    t.totals.dropped_msgs <- t.totals.dropped_msgs + 1;
+    sender.counters.dropped_msgs <- sender.counters.dropped_msgs + 1;
+    trace t "drop  %d->%d %s (%dB)" src dst (t.config.label_of msg) size
+  end
+  else begin
+    let jitter =
+      if t.config.jitter_us = 0 then 0.0
+      else Prng.exponential t.rng ~mean:(float_of_int t.config.jitter_us)
+    in
+    let tx_us =
+      if t.config.bandwidth_bps = 0 then 0.0
+      else float_of_int (size * 8) /. float_of_int t.config.bandwidth_bps *. 1e6
+    in
+    let delay =
+      Sim_time.of_us (t.config.latency_us + int_of_float (jitter +. tx_us))
+    in
+    trace t "send  %d->%d %s (%dB)" src dst (t.config.label_of msg) size;
+    Base_util.Heap.push t.queue (Sim_time.add t.time delay, Q_deliver { src; dst; msg; size })
+  end
+
+let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+
+let partition t a b = t.partition_groups <- Some (a, b)
+
+let heal t = t.partition_groups <- None
+
+let set_timer t ~node ~after ~tag ~payload =
+  let id = t.next_timer_id in
+  t.next_timer_id <- id + 1;
+  Base_util.Heap.push t.queue (Sim_time.add t.time after, Q_timer { id; node; tag; payload });
+  id
+
+let cancel_timer t id = Hashtbl.replace t.cancelled id ()
+
+let dispatch t queued =
+  match queued with
+  | Q_deliver { src; dst; msg; size } -> begin
+    match Hashtbl.find_opt t.nodes dst with
+    | None -> ()
+    | Some node ->
+      if node.up then begin
+        node.counters.recv_msgs <- node.counters.recv_msgs + 1;
+        node.counters.recv_bytes <- node.counters.recv_bytes + size;
+        t.totals.recv_msgs <- t.totals.recv_msgs + 1;
+        t.totals.recv_bytes <- t.totals.recv_bytes + size;
+        trace t "deliv %d->%d %s" src dst (t.config.label_of msg);
+        node.handler t (Deliver { src; msg })
+      end
+      else begin
+        t.totals.dropped_msgs <- t.totals.dropped_msgs + 1;
+        trace t "lost  %d->%d %s (node down)" src dst (t.config.label_of msg)
+      end
+  end
+  | Q_timer { id; node; tag; payload } ->
+    if not (Hashtbl.mem t.cancelled id) then begin
+      match Hashtbl.find_opt t.nodes node with
+      | Some n when n.up -> n.handler t (Timer { tag; payload })
+      | Some _ | None -> ()
+    end
+    else Hashtbl.remove t.cancelled id
+
+let step t =
+  match Base_util.Heap.pop t.queue with
+  | None -> false
+  | Some (time, queued) ->
+    if Sim_time.compare time t.time > 0 then t.time <- time;
+    dispatch t queued;
+    true
+
+let run ?until ?max_events t =
+  let handled = ref 0 in
+  let continue () =
+    (match max_events with Some m -> !handled < m | None -> true)
+    &&
+    match (until, Base_util.Heap.peek t.queue) with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some (next, _) -> Sim_time.(next <= limit)
+  in
+  while continue () do
+    ignore (step t);
+    incr handled
+  done;
+  match until with
+  | Some limit when Sim_time.(t.time < limit) -> t.time <- limit
+  | _ -> ()
+
+let advance_to t limit = run ~until:limit t
+
+let prng t = t.rng
+
+let node_counters t id = (get_node t id).counters
+
+let total_counters t = t.totals
+
+let set_tracer t f = t.tracer <- Some f

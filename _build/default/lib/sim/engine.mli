@@ -1,0 +1,111 @@
+(** Deterministic discrete-event network simulator.
+
+    The engine multiplexes a set of numbered nodes (replicas and clients of
+    the replicated service) over a virtual network.  Nodes communicate only
+    through {!send}/{!multicast} and react to {!event}s delivered by the
+    scheduler; all latencies, drops and clock skews are drawn from a seeded
+    PRNG, so a run is a pure function of its seed.
+
+    The network model captures what the BASE evaluation depends on: per-link
+    latency with jitter, per-byte transmission cost (bandwidth), message
+    loss, partitions, and node crash/reboot.  Per-node logical clocks with
+    configurable skew and drift model the divergent local clocks that make
+    off-the-shelf service implementations non-deterministic. *)
+
+type 'msg t
+
+type 'msg event =
+  | Deliver of { src : int; msg : 'msg }
+      (** A network message from [src] arrived. *)
+  | Timer of { tag : string; payload : int }
+      (** A timer set by this node fired. *)
+
+type 'msg config = {
+  seed : int64;
+  size_of : 'msg -> int;  (** wire size estimate, drives bandwidth cost *)
+  label_of : 'msg -> string;  (** one-line label used by traces *)
+  latency_us : int;  (** one-way propagation delay *)
+  jitter_us : int;  (** mean of the exponential jitter component *)
+  bandwidth_bps : int;  (** link bandwidth; 0 = infinite *)
+  drop_p : float;  (** iid message-loss probability *)
+  clock_skew_us : int;  (** max |offset| of a node's local clock *)
+  clock_drift_ppm : int;  (** max |drift| of a node's local clock *)
+}
+
+val default_config : size_of:('msg -> int) -> label_of:('msg -> string) -> 'msg config
+(** A switched-LAN-like setup: 60 us latency, 15 us jitter, 100 Mbit/s, no
+    loss, 50 ms skew, 100 ppm drift, seed 1. *)
+
+val create : 'msg config -> 'msg t
+
+(** {1 Nodes} *)
+
+val add_node : 'msg t -> id:int -> ('msg t -> 'msg event -> unit) -> unit
+(** Register node [id] with its event handler.  Ids must be unique. *)
+
+val node_count : 'msg t -> int
+
+val set_node_up : 'msg t -> int -> bool -> unit
+(** A down node loses every message and timer addressed to it. *)
+
+val node_is_up : 'msg t -> int -> bool
+
+(** {1 Communication} *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+val multicast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
+
+val partition : 'msg t -> int list -> int list -> unit
+(** [partition t a b] blocks traffic between groups [a] and [b] until
+    {!heal}. *)
+
+val heal : 'msg t -> unit
+
+(** {1 Time and timers} *)
+
+val now : 'msg t -> Sim_time.t
+
+val local_clock : 'msg t -> int -> int64
+(** The node's own wall clock in microseconds: virtual time distorted by the
+    node's skew and drift.  This is the clock a service implementation reads
+    for timestamps — different at every replica. *)
+
+val set_timer : 'msg t -> node:int -> after:Sim_time.t -> tag:string -> payload:int -> int
+(** Returns a timer id usable with {!cancel_timer}. *)
+
+val cancel_timer : 'msg t -> int -> unit
+
+(** {1 Execution} *)
+
+val run : ?until:Sim_time.t -> ?max_events:int -> 'msg t -> unit
+(** Process events in timestamp order until the queue drains, [until] is
+    reached, or [max_events] have been handled. *)
+
+val step : 'msg t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val advance_to : 'msg t -> Sim_time.t -> unit
+(** Move virtual time forward with an empty-queue check: processes all events
+    up to the given instant. *)
+
+val prng : 'msg t -> Base_util.Prng.t
+(** Engine-owned randomness (for workloads that need it). *)
+
+(** {1 Accounting and tracing} *)
+
+type counters = {
+  mutable sent_msgs : int;
+  mutable sent_bytes : int;
+  mutable recv_msgs : int;
+  mutable recv_bytes : int;
+  mutable dropped_msgs : int;
+}
+
+val node_counters : 'msg t -> int -> counters
+
+val total_counters : 'msg t -> counters
+
+val set_tracer : 'msg t -> (Sim_time.t -> string -> unit) -> unit
+(** Install a callback receiving a line per network event (send, deliver,
+    drop); used by the architecture-trace experiment. *)

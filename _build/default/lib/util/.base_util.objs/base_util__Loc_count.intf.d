@@ -1,0 +1,1 @@
+lib/util/loc_count.mli:

@@ -1,0 +1,26 @@
+(** Polymorphic binary min-heap.
+
+    Used as the event queue of the discrete-event simulator; ties are broken
+    by insertion order so that simulation runs are deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first).  Elements
+    that compare equal pop in insertion order. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Elements in arbitrary (heap) order; for debugging. *)

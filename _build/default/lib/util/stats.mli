@@ -1,0 +1,22 @@
+(** Small descriptive-statistics helpers for the benchmark harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [\[0,1\]]; [sorted] must be ascending. *)
+
+val mean : float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,10 @@
+let index_opt hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then Some 0
+  else begin
+    let rec at i j = j >= nn || (hay.[i + j] = needle.[j] && at i (j + 1)) in
+    let rec scan i = if i + nn > nh then None else if at i 0 then Some i else scan (i + 1) in
+    scan 0
+  end
+
+let contains hay needle = index_opt hay needle <> None

@@ -1,0 +1,6 @@
+(** Substring search (the stdlib has none). *)
+
+val contains : string -> string -> bool
+(** [contains haystack needle] — naive search; [true] for the empty needle. *)
+
+val index_opt : string -> string -> int option

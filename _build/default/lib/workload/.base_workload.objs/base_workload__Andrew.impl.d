@@ -1,0 +1,1 @@
+lib/workload/andrew.ml: Array Base_nfs Buffer Cost_model Filename Format Fs_iface List Printf String

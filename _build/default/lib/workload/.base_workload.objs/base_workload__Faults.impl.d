@@ -1,0 +1,1 @@
+lib/workload/faults.ml: Array Base_core Base_crypto Base_fs Base_nfs Base_sim Base_util Char Float Hashtbl Int64 List Option Printf String Systems

@@ -1,0 +1,1 @@
+lib/workload/fs_iface.ml: Base_core Base_fs Base_nfs Base_sim Cost_model List Printf String Systems

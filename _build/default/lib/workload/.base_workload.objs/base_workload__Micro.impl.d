@@ -1,0 +1,1 @@
+lib/workload/micro.ml: Base_core Base_nfs Base_sim Format List Printf String Systems

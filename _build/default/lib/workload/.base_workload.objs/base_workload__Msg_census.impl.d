@@ -1,0 +1,1 @@
+lib/workload/msg_census.ml: Base_sim Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/workload/msg_census.mli: Base_sim Format

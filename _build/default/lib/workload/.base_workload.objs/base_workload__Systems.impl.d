@@ -1,0 +1,1 @@
+lib/workload/systems.ml: Array Base_bft Base_core Base_fs Base_sim Base_wrapper Cost_model Int64 Option

@@ -1,0 +1,36 @@
+(** Service-time model for the Andrew-style experiments.
+
+    The discrete-event simulator accounts for network latency, jitter and
+    bandwidth; what it cannot know is how long the file server spends on CPU
+    and disk per operation, or how long the client "thinks" between
+    operations (the compile phase).  Those costs are injected from this
+    model, identically for the replicated service and for the unreplicated
+    baseline, so the reported overhead isolates the replication machinery —
+    the quantity the paper reports.
+
+    Constants are calibrated to year-2001 hardware (the paper's testbed):
+    NFS operations over a 100 Mbit/s switched LAN against a disk-backed
+    server, a few hundred microseconds to a few milliseconds per call. *)
+
+type t = {
+  op_base_us : float;  (** fixed server CPU + disk cost per operation *)
+  op_per_kb_us : float;  (** incremental cost per data KB moved *)
+  ro_base_us : float;  (** cheaper server-side cost of cached reads *)
+  think_per_op_us : float;  (** client-side processing between calls *)
+  compile_per_kb_us : float;  (** client CPU per KB in the compile phase *)
+}
+
+let default =
+  {
+    op_base_us = 340.0;
+    op_per_kb_us = 30.0;
+    ro_base_us = 120.0;
+    think_per_op_us = 30.0;
+    compile_per_kb_us = 160.0;
+  }
+
+let op_cost_us t ~read_only ~bytes =
+  let base = if read_only then t.ro_base_us else t.op_base_us in
+  base +. (t.op_per_kb_us *. float_of_int bytes /. 1024.0) +. t.think_per_op_us
+
+let compile_cost_us t ~bytes = t.compile_per_kb_us *. float_of_int bytes /. 1024.0

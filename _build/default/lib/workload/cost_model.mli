@@ -1,0 +1,22 @@
+(** Service-time model for the Andrew-style experiments.
+
+    The simulator accounts for network latency, jitter and bandwidth; this
+    model supplies what it cannot know — per-operation server CPU/disk time
+    and client think time — charged identically to the replicated service
+    and the unreplicated baseline, so measured overheads isolate the
+    replication machinery.  Constants approximate the paper's year-2001
+    testbed (disk-backed NFS over 100 Mbit/s switched Ethernet). *)
+
+type t = {
+  op_base_us : float;  (** fixed server CPU + disk cost per mutating call *)
+  op_per_kb_us : float;  (** incremental cost per data KB moved *)
+  ro_base_us : float;  (** cheaper cost of cached read-only calls *)
+  think_per_op_us : float;  (** client-side processing between calls *)
+  compile_per_kb_us : float;  (** client CPU per KB in the compile phase *)
+}
+
+val default : t
+
+val op_cost_us : t -> read_only:bool -> bytes:int -> float
+
+val compile_cost_us : t -> bytes:int -> float

@@ -1,0 +1,168 @@
+(** Fault-injection scenarios: opportunistic N-version programming against a
+    deterministic software bug (E6), state corruption with proactive-recovery
+    repair (E9), and availability probes used by the recovery experiment
+    (E5). *)
+
+open Base_nfs.Nfs_types
+module Runtime = Base_core.Runtime
+module Engine = Base_sim.Engine
+module Sim_time = Base_sim.Sim_time
+module Objrepo = Base_core.Objrepo
+module S = Base_fs.Server_intf
+
+let nfs_of sys ~client =
+  Base_nfs.Nfs_client.make (fun ~read_only ~operation ->
+      Runtime.invoke_sync sys.Systems.runtime ~client ~read_only ~operation ())
+
+(* Distinct abstract-state roots across the replica group (0 divergent =
+   everybody agrees). *)
+let divergent_replicas sys =
+  let roots =
+    Array.map
+      (fun node -> Objrepo.current_root node.Runtime.repo)
+      (Runtime.replicas sys.Systems.runtime)
+  in
+  let counts = Hashtbl.create 4 in
+  Array.iter
+    (fun r ->
+      let k = Base_crypto.Digest_t.raw r in
+      Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
+    roots;
+  let majority = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  Array.length roots - majority
+
+(* --- E6: deterministic bug vs N-version programming -------------------------- *)
+
+type poison_outcome = {
+  configuration : string;
+  read_back_correct : bool;  (** did the client read what it wrote? *)
+  divergent : int;  (** replicas whose abstract state differs from majority *)
+  buggy_replicas : int;
+}
+
+(* Arm the latent bug on every replica running [buggy_impl], then have the
+   client write data that triggers it and read the data back. *)
+let poison_experiment ?(seed = 5L) ~hetero () =
+  let sys = Systems.make_basefs ~seed ~hetero ~n_clients:1 () in
+  let buggy = ref 0 in
+  Array.iteri
+    (fun rid name ->
+      if name = "hash" then begin
+        incr buggy;
+        sys.Systems.servers.(rid).S.set_poison (Some "BUG")
+      end)
+    sys.Systems.impl_of;
+  let nfs = nfs_of sys ~client:0 in
+  let module C = Base_nfs.Nfs_client in
+  let payload = "static int BUG_trigger = 42; /* crosses the bad code path */" in
+  let file, _ = C.ok (C.create nfs root_oid "poisoned.c" sattr_empty) in
+  ignore (C.ok (C.write nfs file ~off:0 payload));
+  let got, _ = C.ok (C.read nfs file ~off:0 ~count:(String.length payload)) in
+  (* Let in-flight protocol traffic settle before inspecting the replicas. *)
+  Engine.run
+    ~until:(Sim_time.add (Runtime.now sys.Systems.runtime) (Sim_time.of_ms 100))
+    (Runtime.engine sys.Systems.runtime);
+  {
+    configuration = (if hetero then "heterogeneous (4 distinct impls)" else "homogeneous (4 x hash)");
+    read_back_correct = String.equal got payload;
+    divergent = divergent_replicas sys;
+    buggy_replicas = !buggy;
+  }
+
+(* --- E9: concrete-state corruption and repair --------------------------------- *)
+
+type corruption_outcome = {
+  corrupt_replicas : int;
+  objects_damaged : int;
+  reads_correct_before_repair : bool;
+  objects_repaired : int;  (** fetched during proactive recovery *)
+  divergent_after_repair : int;
+}
+
+let populate nfs ~files ~len =
+  let module C = Base_nfs.Nfs_client in
+  List.init files (fun i ->
+      let name = Printf.sprintf "data%02d" i in
+      let body = String.init len (fun k -> Char.chr (((i * 31) + k) mod 256)) in
+      let fh, _ = C.ok (C.create nfs root_oid name sattr_empty) in
+      ignore (C.ok (C.write nfs fh ~off:0 body));
+      (fh, body))
+
+let corruption_experiment ?(seed = 9L) ~corrupt_replicas ~objects_per_replica () =
+  let sys = Systems.make_basefs ~seed ~hetero:true ~checkpoint_period:16 ~n_clients:1 () in
+  let rt = sys.Systems.runtime in
+  let nfs = nfs_of sys ~client:0 in
+  let module C = Base_nfs.Nfs_client in
+  let files = populate nfs ~files:12 ~len:4096 in
+  (* Silent bit rot on the first [corrupt_replicas] replicas. *)
+  let prng = Base_util.Prng.create (Int64.add seed 1000L) in
+  let damaged = ref 0 in
+  for rid = 0 to corrupt_replicas - 1 do
+    damaged := !damaged + sys.Systems.servers.(rid).S.corrupt ~prng ~count:objects_per_replica
+  done;
+  (* Reads must still be correct while no more than f replicas are corrupt:
+     the wrapped, corrupted replicas are simply outvoted. *)
+  let reads_ok =
+    List.for_all
+      (fun (fh, body) ->
+        let got, _ = C.ok (C.read nfs fh ~off:0 ~count:(String.length body)) in
+        String.equal got body)
+      files
+  in
+  (* Proactive recovery sweeps every replica; keep light load running so
+     checkpoints keep certifying fresh states. *)
+  Runtime.enable_proactive_recovery ~reboot_us:50_000 ~period_us:1_500_000 rt;
+  for i = 0 to 40 do
+    let fh, _ = List.nth files (i mod 12) in
+    ignore (C.ok (C.write nfs fh ~off:0 (Printf.sprintf "tick %d" i)));
+    Engine.advance_to (Runtime.engine rt)
+      (Sim_time.add (Runtime.now rt) (Sim_time.of_ms 200))
+  done;
+  Runtime.disable_proactive_recovery rt;
+  Engine.run ~until:(Sim_time.add (Runtime.now rt) (Sim_time.of_sec 3.0)) (Runtime.engine rt);
+  let repaired =
+    Array.fold_left
+      (fun acc node -> acc + node.Runtime.recovery_stats.Runtime.total_objects_fetched)
+      0 (Runtime.replicas rt)
+  in
+  {
+    corrupt_replicas;
+    objects_damaged = !damaged;
+    reads_correct_before_repair = reads_ok;
+    objects_repaired = repaired;
+    divergent_after_repair = divergent_replicas sys;
+  }
+
+(* --- E5: availability probe ---------------------------------------------------- *)
+
+type window = { w_start_s : float; w_ops : int }
+
+(* Continuous closed-loop load; returns completed-operation counts per
+   [window_s]-second window of virtual time. *)
+let throughput_trace ?(seed = 13L) ~duration_s ~window_s ~recovery () =
+  let sys = Systems.make_basefs ~seed ~hetero:true ~checkpoint_period:32 ~n_clients:1 () in
+  let rt = sys.Systems.runtime in
+  (match recovery with
+  | Some (period_us, reboot_us) ->
+    Runtime.enable_proactive_recovery ~reboot_us ~period_us rt
+  | None -> ());
+  let nfs = nfs_of sys ~client:0 in
+  let module C = Base_nfs.Nfs_client in
+  let fh, _ = C.ok (C.create nfs root_oid "probe" sattr_empty) in
+  let completions = ref [] in
+  let n = ref 0 in
+  while Sim_time.to_sec (Runtime.now rt) < duration_s do
+    incr n;
+    ignore (C.ok (C.write nfs fh ~off:0 (Printf.sprintf "op%d" !n)));
+    completions := Sim_time.to_sec (Runtime.now rt) :: !completions
+  done;
+  let buckets = int_of_float (Float.ceil (duration_s /. window_s)) in
+  let counts = Array.make buckets 0 in
+  List.iter
+    (fun t ->
+      let b = int_of_float (t /. window_s) in
+      if b >= 0 && b < buckets then counts.(b) <- counts.(b) + 1)
+    !completions;
+  ( sys,
+    Array.to_list (Array.mapi (fun i c -> { w_start_s = float_of_int i *. window_s; w_ops = c }) counts)
+  )

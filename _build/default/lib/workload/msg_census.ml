@@ -1,0 +1,51 @@
+(** Message census: counts protocol traffic by message type through the
+    simulator's tracer, for the experiment harness ("how many PREPAREs does
+    an NFS write cost?"). *)
+
+type t = {
+  counts : (string, int) Hashtbl.t;
+  mutable sends : int;
+  mutable installed : bool;
+}
+
+let create () = { counts = Hashtbl.create 16; sends = 0; installed = false }
+
+(* Trace lines look like "send  0->2 PRE-PREPARE(v=0,n=2) (180B)". *)
+let classify line =
+  if String.length line < 6 || String.sub line 0 5 <> "send " then None
+  else begin
+    match String.index_opt line '>' with
+    | None -> None
+    | Some gt ->
+      let rest = String.sub line (gt + 1) (String.length line - gt - 1) in
+      let rest = String.trim rest in
+      (* Skip the destination id, then take the label up to '('. *)
+      (match String.index_opt rest ' ' with
+      | None -> None
+      | Some sp ->
+        let label = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+        let stop =
+          match String.index_opt label '(' with Some i -> i | None -> String.length label
+        in
+        Some (String.trim (String.sub label 0 stop)))
+  end
+
+let install t engine =
+  t.installed <- true;
+  Base_sim.Engine.set_tracer engine (fun _time line ->
+      match classify line with
+      | None -> ()
+      | Some label ->
+        t.sends <- t.sends + 1;
+        Hashtbl.replace t.counts label
+          (1 + Option.value (Hashtbl.find_opt t.counts label) ~default:0))
+
+let rows t =
+  Hashtbl.fold (fun label count acc -> (label, count) :: acc) t.counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let total t = t.sends
+
+let pp ppf t =
+  Format.fprintf ppf "  %-14s %10s@." "message" "sent";
+  List.iter (fun (label, count) -> Format.fprintf ppf "  %-14s %10d@." label count) (rows t)

@@ -1,0 +1,17 @@
+(** Message census: protocol-traffic counts by message type, collected
+    through the simulator's tracer (used by the experiment harness to report
+    e.g. how many PREPAREs an Andrew run costs). *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> 'msg Base_sim.Engine.t -> unit
+(** Installs a tracer on the engine (replacing any existing one). *)
+
+val rows : t -> (string * int) list
+(** (message type, sends) pairs, most frequent first. *)
+
+val total : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+(** Builders for complete replicated file-service deployments (BASE-FS) and
+    for the unreplicated off-the-shelf baseline they are compared against. *)
+
+module Runtime = Base_core.Runtime
+module Engine = Base_sim.Engine
+module Types = Base_bft.Types
+module S = Base_fs.Server_intf
+
+let impl_names = [| "inode"; "hash"; "log"; "btree"; "fat" |]
+
+let make_impl name ~seed ~now : S.t =
+  match name with
+  | "inode" -> Base_fs.Fs_inode.create (Base_fs.Fs_inode.make ~seed ~now)
+  | "hash" -> Base_fs.Fs_hash.create (Base_fs.Fs_hash.make ~seed ~now)
+  | "log" -> Base_fs.Fs_log.create (Base_fs.Fs_log.make ~seed ~now)
+  | "btree" -> Base_fs.Fs_btree.create (Base_fs.Fs_btree.make ~seed ~now)
+  | "fat" -> Base_fs.Fs_fat.create (Base_fs.Fs_fat.make ~seed ~now)
+  | other -> invalid_arg ("Systems.make_impl: unknown implementation " ^ other)
+
+type basefs = {
+  runtime : Runtime.t;
+  servers : S.t array;  (** the wrapped off-the-shelf implementations *)
+  impl_of : string array;  (** implementation name per replica *)
+}
+
+(** [make_basefs ~hetero ...] builds an n=3f+1 BASE-FS deployment.  With
+    [hetero = true] each replica runs a different implementation
+    (opportunistic N-version programming); otherwise all replicas run
+    [homogeneous_impl] (default "hash", the one with the latent bug). *)
+let make_basefs ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 512)
+    ?(n_clients = 1) ?(homogeneous_impl = "hash") ?drop_p ?batch_max ?max_inflight ~hetero () =
+  let config =
+    Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ?batch_max
+      ?max_inflight ~f ~n_clients ()
+  in
+  let engine_config =
+    let base =
+      Engine.default_config ~size_of:Runtime.msg_size ~label_of:Runtime.msg_label
+    in
+    { base with seed; drop_p = Option.value drop_p ~default:base.drop_p }
+  in
+  let n = config.Types.n in
+  let servers = Array.make n None in
+  let impl_of = Array.make n "" in
+  (* The implementations read their replica's local (skewed, drifting)
+     clock; the engine does not exist until Runtime.create runs, so route
+     through a cell.  During construction the clock reads zero, which only
+     affects concrete timestamps that the wrapper masks anyway. *)
+  let engine_cell = ref None in
+  let make_wrapper rid =
+    let name = if hetero then impl_names.(rid mod Array.length impl_names) else homogeneous_impl in
+    impl_of.(rid) <- name;
+    let now () =
+      match !engine_cell with
+      | Some engine -> Engine.local_clock engine rid
+      | None -> 0L
+    in
+    let server = make_impl name ~seed:(Int64.add seed (Int64.of_int (100 + rid))) ~now in
+    servers.(rid) <- Some server;
+    Base_wrapper.Conformance.make ~server ~n_objects ()
+  in
+  let runtime = Runtime.create ~engine_config ~config ~make_wrapper ~n_clients () in
+  engine_cell := Some (Runtime.engine runtime);
+  { runtime; servers = Array.map Option.get servers; impl_of }
+
+(** An unreplicated off-the-shelf server used as the comparison baseline:
+    direct calls, with network and service time accounted analytically using
+    the same constants as the simulator. *)
+type direct = {
+  server : S.t;
+  mutable elapsed_us : float;
+  cost : Cost_model.t;
+  rtt_us : float;
+}
+
+let make_direct ?(seed = 77L) ?(impl = "inode") ?(cost = Cost_model.default) () =
+  let clock = ref 0L in
+  let now () =
+    clock := Int64.add !clock 211L;
+    !clock
+  in
+  let server = make_impl impl ~seed ~now in
+  (* Same switched LAN as the simulator's default: 60 us propagation each
+     way plus the average exponential jitter. *)
+  { server; elapsed_us = 0.0; cost; rtt_us = 2.0 *. (60.0 +. 15.0) }
+
+let direct_charge d ~read_only ~bytes =
+  d.elapsed_us <-
+    d.elapsed_us +. d.rtt_us
+    +. (float_of_int (bytes * 8) /. 100e6 *. 1e6)
+    +. Cost_model.op_cost_us d.cost ~read_only ~bytes

@@ -1,0 +1,1 @@
+lib/wrapper/conformance.ml: Array Base_codec Base_core Base_fs Base_nfs Hashtbl List Option Printf String

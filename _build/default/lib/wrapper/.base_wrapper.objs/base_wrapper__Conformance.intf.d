@@ -1,0 +1,1 @@
+lib/wrapper/conformance.mli: Base_core Base_fs

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Base_bft Base_codec Base_core Base_sim List Option Printf String

@@ -1,0 +1,1 @@
+test/test_basefs.ml: Alcotest Array Base_bft Base_core Base_fs Base_nfs Base_sim Base_workload Float Int64 List Printf

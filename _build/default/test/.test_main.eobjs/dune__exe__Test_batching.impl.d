@@ -1,0 +1,1 @@
+test/test_batching.ml: Alcotest Array Base_bft Base_core Base_sim Helpers Printf

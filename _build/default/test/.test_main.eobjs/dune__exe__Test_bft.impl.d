@@ -1,0 +1,1 @@
+test/test_bft.ml: Alcotest Array Base_bft Base_core Base_crypto Base_sim Helpers List Printf

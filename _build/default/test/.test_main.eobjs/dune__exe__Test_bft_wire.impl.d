@@ -1,0 +1,1 @@
+test/test_bft_wire.ml: Alcotest Array Base_bft Base_codec Base_crypto Int64 List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Array Base_bft Base_crypto List Option Queue

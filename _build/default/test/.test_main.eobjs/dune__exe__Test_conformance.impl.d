@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Array Base_core Base_fs Base_nfs Base_util Base_wrapper Bytes Int64 List Printf String

@@ -1,0 +1,1 @@
+test/test_nfs_model.ml: Alcotest Base_nfs Base_util Int64 List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_oodb.ml: Alcotest Base_core Base_oodb Base_util Int64 List Printf String

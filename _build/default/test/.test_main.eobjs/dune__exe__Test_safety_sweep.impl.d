@@ -1,0 +1,1 @@
+test/test_safety_sweep.ml: Alcotest Array Base_bft Base_core Base_sim Base_util Helpers Int64 List Option Printf

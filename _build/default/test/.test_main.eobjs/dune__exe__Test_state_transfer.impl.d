@@ -1,0 +1,1 @@
+test/test_state_transfer.ml: Alcotest Array Base_core Base_crypto Base_util Bytes Char List Printf Queue String

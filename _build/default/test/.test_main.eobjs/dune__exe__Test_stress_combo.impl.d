@@ -1,0 +1,1 @@
+test/test_stress_combo.ml: Alcotest Array Base_bft Base_core Base_crypto Base_sim Helpers Printf

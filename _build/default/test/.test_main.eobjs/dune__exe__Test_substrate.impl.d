@@ -1,0 +1,1 @@
+test/test_substrate.ml: Alcotest Array Base_codec Base_core Base_crypto Base_sim Base_util Char Hashtbl List Option Printf QCheck2 QCheck_alcotest String

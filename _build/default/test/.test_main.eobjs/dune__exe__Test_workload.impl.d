@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Base_fs Base_nfs Base_workload List Printf

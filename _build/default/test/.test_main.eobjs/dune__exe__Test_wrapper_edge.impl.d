@@ -1,0 +1,1 @@
+test/test_wrapper_edge.ml: Alcotest Base_core Base_fs Base_nfs Base_util Base_wrapper Int64 List String

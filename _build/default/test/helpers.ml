@@ -1,0 +1,95 @@
+(* Shared test scaffolding: a tiny deterministic key-value service wrapped
+   for BASE, used to exercise the replication stack without the NFS layer. *)
+
+module Service = Base_core.Service
+
+(* A register array service: operations "set:<i>:<value>" and "get:<i>".
+   Keeps a timestamp per slot fed from the agreed nondet value, exactly like
+   the NFS wrapper does for time-last-modified. *)
+type kv = { slots : string array; stamps : int64 array; mutable restarts : int }
+
+let kv_wrapper ?(n_objects = 8) () =
+  let kv =
+    { slots = Array.make n_objects ""; stamps = Array.make n_objects 0L; restarts = 0 }
+  in
+  let parse op = String.split_on_char ':' op in
+  let execute ~client:_ ~operation ~nondet ~read_only:_ ~modify =
+    match parse operation with
+    | [ "set"; i; v ] ->
+      let i = int_of_string i in
+      modify i;
+      kv.slots.(i) <- v;
+      kv.stamps.(i) <- Service.clock_of_nondet nondet;
+      "ok"
+    | [ "get"; i ] ->
+      let i = int_of_string i in
+      Printf.sprintf "%s@%Ld" kv.slots.(i) kv.stamps.(i)
+    | _ -> "bad-op"
+  in
+  let get_obj i =
+    let e = Base_codec.Xdr.encoder () in
+    Base_codec.Xdr.str e kv.slots.(i);
+    Base_codec.Xdr.i64 e kv.stamps.(i);
+    Base_codec.Xdr.contents e
+  in
+  let put_objs objs =
+    List.iter
+      (fun (i, data) ->
+        let d = Base_codec.Xdr.decoder data in
+        kv.slots.(i) <- Base_codec.Xdr.read_str d;
+        kv.stamps.(i) <- Base_codec.Xdr.read_i64 d)
+      objs
+  in
+  ( kv,
+    {
+      Service.name = "kv";
+      n_objects;
+      execute;
+      get_obj;
+      put_objs;
+      restart = (fun () -> kv.restarts <- kv.restarts + 1);
+      propose_nondet = (fun ~clock_us ~operation:_ -> Service.nondet_of_clock clock_us);
+      check_nondet =
+        (fun ~clock_us ~operation:_ ~nondet ->
+          Service.default_check_nondet ~max_skew_us:2_000_000L ~clock_us ~nondet);
+    } )
+
+let make_system ?(seed = 1L) ?(f = 1) ?(n_clients = 1) ?(checkpoint_period = 16)
+    ?(drop_p = 0.0) ?batch_max ?max_inflight () =
+  let config =
+    Base_bft.Types.make_config ~checkpoint_period ~log_window:(checkpoint_period * 2)
+      ?batch_max ?max_inflight ~f ~n_clients ()
+  in
+  let engine_config =
+    {
+      (Base_sim.Engine.default_config ~size_of:Base_core.Runtime.msg_size
+         ~label_of:Base_core.Runtime.msg_label)
+      with
+      seed;
+      drop_p;
+    }
+  in
+  let kvs = Array.init config.Base_bft.Types.n (fun _ -> None) in
+  let make_wrapper rid =
+    let kv, w = kv_wrapper () in
+    kvs.(rid) <- Some kv;
+    w
+  in
+  let sys = Base_core.Runtime.create ~engine_config ~config ~make_wrapper ~n_clients () in
+  let kvs = Array.map Option.get kvs in
+  (sys, kvs)
+
+let set sys ~client i v =
+  Base_core.Runtime.invoke_sync sys ~client ~operation:(Printf.sprintf "set:%d:%s" i v) ()
+
+let get sys ~client i =
+  Base_core.Runtime.invoke_sync sys ~client ~operation:(Printf.sprintf "get:%d" i) ()
+
+let get_ro sys ~client i =
+  Base_core.Runtime.invoke_sync sys ~client ~read_only:true
+    ~operation:(Printf.sprintf "get:%d" i) ()
+
+let value_part reply =
+  match String.index_opt reply '@' with
+  | Some k -> String.sub reply 0 k
+  | None -> reply

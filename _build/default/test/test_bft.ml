@@ -1,0 +1,166 @@
+(* Protocol-level tests of the PBFT substrate: safety under loss and
+   concurrency, view-change behaviour, equivocating primaries, partitions,
+   and the message-authentication boundary. *)
+
+open Helpers
+module Runtime = Base_core.Runtime
+module Replica = Base_bft.Replica
+module Message = Base_bft.Message
+module Types = Base_bft.Types
+module Engine = Base_sim.Engine
+module Sim_time = Base_sim.Sim_time
+
+let settle sys seconds =
+  Engine.run ~until:(Sim_time.add (Runtime.now sys) (Sim_time.of_sec seconds))
+    (Runtime.engine sys)
+
+let all_states_equal kvs =
+  let snapshot (kv : kv) = (Array.copy kv.slots, Array.copy kv.stamps) in
+  let s0 = snapshot kvs.(0) in
+  Array.for_all (fun kv -> snapshot kv = s0) kvs
+
+let test_safety_two_clients_with_loss () =
+  (* Two clients race on the same slots over a lossy network; all replicas
+     must converge to identical states (SMR safety). *)
+  let sys, kvs = make_system ~seed:21L ~n_clients:2 ~drop_p:0.08 ~checkpoint_period:8 () in
+  let pending = ref 0 in
+  for i = 0 to 39 do
+    incr pending;
+    Runtime.invoke sys ~client:(i mod 2)
+      ~operation:(Printf.sprintf "set:%d:c%dv%d" (i mod 8) (i mod 2) i)
+      (fun _ -> decr pending)
+  done;
+  let events = ref 0 in
+  while !pending > 0 && !events < 3_000_000 do
+    if not (Engine.step (Runtime.engine sys)) then failwith "quiescent";
+    incr events
+  done;
+  Alcotest.(check int) "all ops completed" 0 !pending;
+  settle sys 1.0;
+  Alcotest.(check bool) "replicas converged" true (all_states_equal kvs)
+
+let test_sequential_consistency_of_results () =
+  (* A client alternating writes and reads observes its own writes. *)
+  let sys, _ = make_system ~seed:22L () in
+  for i = 0 to 19 do
+    ignore (set sys ~client:0 2 (Printf.sprintf "gen%d" i));
+    Alcotest.(check string) "read own write" (Printf.sprintf "gen%d" i)
+      (value_part (get sys ~client:0 2))
+  done
+
+let test_equivocating_primary_safe () =
+  (* An equivocating primary cannot make correct replicas diverge. *)
+  let sys, kvs = make_system ~seed:23L () in
+  Runtime.set_behavior sys 0 Replica.Equivocate;
+  for i = 0 to 9 do
+    ignore (set sys ~client:0 (i mod 8) (Printf.sprintf "eq%d" i))
+  done;
+  settle sys 2.0;
+  Alcotest.(check bool) "replicas converged despite equivocation" true
+    (let honest = [ kvs.(1); kvs.(2); kvs.(3) ] in
+     List.for_all (fun (kv : kv) -> kv.slots = kvs.(1).slots) honest)
+
+let test_partition_blocks_then_heals () =
+  let sys, _ = make_system ~seed:24L () in
+  ignore (set sys ~client:0 0 "before");
+  (* 2+2 split: no 2f+1 quorum exists, so no operation can commit. *)
+  Engine.partition (Runtime.engine sys) [ 0; 1 ] [ 2; 3 ];
+  let done_ = ref false in
+  Runtime.invoke sys ~client:0 ~operation:"set:0:during" (fun _ -> done_ := true);
+  settle sys 3.0;
+  Alcotest.(check bool) "no progress across partition" false !done_;
+  Engine.heal (Runtime.engine sys);
+  let events = ref 0 in
+  while (not !done_) && !events < 3_000_000 do
+    if not (Engine.step (Runtime.engine sys)) then failwith "quiescent";
+    incr events
+  done;
+  Alcotest.(check bool) "heals and completes" true !done_;
+  Alcotest.(check string) "value committed once" "during" (value_part (get sys ~client:0 0))
+
+let test_successive_primary_failures () =
+  (* Mute the current primary after each batch; the view advances past the
+     dead primaries and the service keeps going (f = 1 at a time is
+     respected because earlier primaries are revived). *)
+  let sys, _ = make_system ~seed:25L () in
+  ignore (set sys ~client:0 0 "v0");
+  Runtime.set_behavior sys 0 Replica.Mute;
+  ignore (set sys ~client:0 0 "v1");
+  (* Revive 0, kill the new primary. *)
+  Runtime.set_behavior sys 0 Replica.Honest;
+  let new_primary =
+    let node = Runtime.replica sys 1 in
+    Replica.view node.Runtime.replica mod 4
+  in
+  Runtime.set_behavior sys new_primary Replica.Mute;
+  ignore (set sys ~client:0 0 "v2");
+  Alcotest.(check string) "final value" "v2" (value_part (get sys ~client:0 0))
+
+let test_mac_forgery_rejected () =
+  (* A message whose authenticator was built by the wrong principal is
+     dropped and counted, never processed. *)
+  let sys, _ = make_system ~seed:26L () in
+  ignore (set sys ~client:0 0 "x");
+  let node = Runtime.replica sys 1 in
+  let before = (Replica.stats node.Runtime.replica).Replica.rejected_macs in
+  (* Replay a legitimate-looking prepare "from replica 2" but sealed by the
+     orchestrator-node id (whose keys differ): MAC check must fail. *)
+  let config = Runtime.config sys in
+  let chains = Base_crypto.Auth.create ~seed:4242L ~n_principals:config.Types.n_principals in
+  let forged =
+    Message.seal chains.(2) ~sender:2 ~n_principals:config.Types.n_principals
+      (Message.Prepare
+         { view = 0; seq = 3; digest = Base_crypto.Digest_t.of_string "fake"; replica = 2 })
+  in
+  Engine.send (Runtime.engine sys) ~src:2 ~dst:1 (Runtime.Bft forged);
+  settle sys 0.2;
+  let after = (Replica.stats node.Runtime.replica).Replica.rejected_macs in
+  Alcotest.(check bool) "forged MAC rejected" true (after = before + 1)
+
+let test_checkpoint_digests_match () =
+  (* All replicas produce identical checkpoint digests at the same seqno —
+     the heart of abstract-state agreement. *)
+  let sys, _ = make_system ~seed:27L ~checkpoint_period:8 () in
+  for i = 0 to 24 do
+    ignore (set sys ~client:0 (i mod 8) (Printf.sprintf "cp%d" i))
+  done;
+  settle sys 1.0;
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool) "stable checkpoint advanced" true
+        (Replica.low_watermark node.Runtime.replica >= 8))
+    (Runtime.replicas sys)
+
+let test_null_requests_after_view_change () =
+  (* A view change with gaps orders null requests; execution skips them and
+     the service state is unaffected. *)
+  let sys, kvs = make_system ~seed:28L () in
+  ignore (set sys ~client:0 1 "solid");
+  Runtime.set_behavior sys 0 Replica.Mute;
+  ignore (set sys ~client:0 2 "after-vc");
+  settle sys 1.0;
+  Alcotest.(check string) "pre-vc value survives" "solid" kvs.(1).slots.(1);
+  Alcotest.(check string) "post-vc value applied" "after-vc" kvs.(1).slots.(2)
+
+let test_read_only_with_replica_down () =
+  (* The read-only optimisation still reaches its 2f+1 quorum with one
+     replica down. *)
+  let sys, _ = make_system ~seed:29L () in
+  ignore (set sys ~client:0 4 "ro-target");
+  Engine.set_node_up (Runtime.engine sys) 3 false;
+  Alcotest.(check string) "read-only succeeds" "ro-target"
+    (value_part (get_ro sys ~client:0 4))
+
+let suite =
+  [
+    Alcotest.test_case "safety: two clients + loss" `Quick test_safety_two_clients_with_loss;
+    Alcotest.test_case "sequential consistency" `Quick test_sequential_consistency_of_results;
+    Alcotest.test_case "equivocating primary is safe" `Quick test_equivocating_primary_safe;
+    Alcotest.test_case "partition blocks, heal resumes" `Quick test_partition_blocks_then_heals;
+    Alcotest.test_case "successive primary failures" `Quick test_successive_primary_failures;
+    Alcotest.test_case "MAC forgery rejected" `Quick test_mac_forgery_rejected;
+    Alcotest.test_case "checkpoints advance everywhere" `Quick test_checkpoint_digests_match;
+    Alcotest.test_case "null requests after view change" `Quick
+      test_null_requests_after_view_change;
+    Alcotest.test_case "read-only with replica down" `Quick test_read_only_with_replica_down;
+  ]

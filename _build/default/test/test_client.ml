@@ -1,0 +1,183 @@
+(* Unit tests of the client protocol against a scripted transport: reply
+   quorums, Byzantine reply rejection, retransmission, and the read-only
+   fallback — all without a simulator. *)
+
+module Client = Base_bft.Client
+module Message = Base_bft.Message
+module Types = Base_bft.Types
+module Auth = Base_crypto.Auth
+
+type world = {
+  config : Types.config;
+  chains : Auth.keychain array;
+  client : Client.t;
+  sent : (int * Message.body) Queue.t;  (* (dst, body) from the client *)
+  timers : (int * string * int) Queue.t;  (* (id, tag, payload) armed *)
+  mutable now : int64;
+  mutable next_timer : int;
+}
+
+let make_world () =
+  let config = Types.make_config ~f:1 ~n_clients:1 () in
+  let chains = Auth.create ~seed:3L ~n_principals:config.Types.n_principals in
+  let sent = Queue.create () in
+  let timers = Queue.create () in
+  let w_ref = ref None in
+  let net =
+    {
+      Client.send = (fun ~dst env -> Queue.add (dst, env.Message.body) sent);
+      set_timer =
+        (fun ~after_us:_ ~tag ~payload ->
+          let w = Option.get !w_ref in
+          w.next_timer <- w.next_timer + 1;
+          Queue.add (w.next_timer, tag, payload) timers;
+          w.next_timer);
+      cancel_timer = (fun _ -> ());
+      now_us = (fun () -> (Option.get !w_ref).now);
+    }
+  in
+  let client = Client.create ~config ~id:4 ~keychain:chains.(4) ~net in
+  let w = { config; chains; client; sent; timers; now = 0L; next_timer = 0 } in
+  w_ref := Some w;
+  w
+
+let drain q = Queue.fold (fun acc x -> x :: acc) [] q |> List.rev
+
+let reply w ~replica ~timestamp ~result =
+  let body =
+    Message.Reply { view = 0; timestamp; client = 4; replica; result }
+  in
+  let env =
+    Message.seal w.chains.(replica) ~sender:replica ~n_principals:w.config.Types.n_principals
+      body
+  in
+  Client.receive w.client env
+
+let test_request_broadcast () =
+  let w = make_world () in
+  Client.invoke w.client ~operation:"op" (fun _ -> ());
+  let dsts = List.map fst (drain w.sent) in
+  Alcotest.(check (list int)) "request to all replicas" [ 0; 1; 2; 3 ] (List.sort compare dsts)
+
+let test_rw_quorum_f_plus_1 () =
+  let w = make_world () in
+  let result = ref None in
+  Client.invoke w.client ~operation:"op" (fun r -> result := Some r);
+  reply w ~replica:0 ~timestamp:0L ~result:"answer";
+  Alcotest.(check (option string)) "one reply is not enough" None !result;
+  reply w ~replica:1 ~timestamp:0L ~result:"answer";
+  Alcotest.(check (option string)) "f+1 matching accepted" (Some "answer") !result
+
+let test_byzantine_reply_outvoted () =
+  let w = make_world () in
+  let result = ref None in
+  Client.invoke w.client ~operation:"op" (fun r -> result := Some r);
+  reply w ~replica:0 ~timestamp:0L ~result:"lie";
+  reply w ~replica:1 ~timestamp:0L ~result:"truth";
+  Alcotest.(check (option string)) "no quorum yet" None !result;
+  reply w ~replica:2 ~timestamp:0L ~result:"truth";
+  Alcotest.(check (option string)) "truth wins" (Some "truth") !result
+
+let test_duplicate_replies_not_double_counted () =
+  let w = make_world () in
+  let result = ref None in
+  Client.invoke w.client ~operation:"op" (fun r -> result := Some r);
+  reply w ~replica:0 ~timestamp:0L ~result:"x";
+  reply w ~replica:0 ~timestamp:0L ~result:"x";
+  reply w ~replica:0 ~timestamp:0L ~result:"x";
+  Alcotest.(check (option string)) "same replica counted once" None !result
+
+let test_stale_timestamp_ignored () =
+  let w = make_world () in
+  let r1 = ref None in
+  Client.invoke w.client ~operation:"first" (fun r -> r1 := Some r);
+  reply w ~replica:0 ~timestamp:0L ~result:"a";
+  reply w ~replica:1 ~timestamp:0L ~result:"a";
+  Alcotest.(check (option string)) "first done" (Some "a") !r1;
+  let r2 = ref None in
+  Client.invoke w.client ~operation:"second" (fun r -> r2 := Some r);
+  (* Replays of the old reply must not satisfy the new request. *)
+  reply w ~replica:2 ~timestamp:0L ~result:"a";
+  reply w ~replica:3 ~timestamp:0L ~result:"a";
+  Alcotest.(check (option string)) "replays ignored" None !r2
+
+let test_ro_needs_2f_plus_1 () =
+  let w = make_world () in
+  let result = ref None in
+  Client.invoke w.client ~read_only:true ~operation:"ro" (fun r -> result := Some r);
+  reply w ~replica:0 ~timestamp:0L ~result:"v";
+  reply w ~replica:1 ~timestamp:0L ~result:"v";
+  Alcotest.(check (option string)) "2 matching not enough for ro" None !result;
+  reply w ~replica:2 ~timestamp:0L ~result:"v";
+  Alcotest.(check (option string)) "2f+1 matching accepted" (Some "v") !result
+
+let test_ro_fallback_after_retries () =
+  let w = make_world () in
+  Client.invoke w.client ~read_only:true ~operation:"ro" (fun _ -> ());
+  Queue.clear w.sent;
+  (* First timeout: plain retransmission, still read-only. *)
+  Client.on_timer w.client ~tag:"client" ~payload:0;
+  let ro_retry =
+    List.exists
+      (function _, Message.Request r -> r.Message.read_only | _ -> false)
+      (drain w.sent)
+  in
+  Alcotest.(check bool) "first retry still read-only" true ro_retry;
+  Queue.clear w.sent;
+  (* Second timeout: falls back to a regular ordered request. *)
+  Client.on_timer w.client ~tag:"client" ~payload:0;
+  let fell_back =
+    List.exists
+      (function _, Message.Request r -> not r.Message.read_only | _ -> false)
+      (drain w.sent)
+  in
+  Alcotest.(check bool) "fallback to read-write" true fell_back
+
+let test_queueing_outstanding_ops () =
+  let w = make_world () in
+  let order = ref [] in
+  Client.invoke w.client ~operation:"one" (fun r -> order := r :: !order);
+  Client.invoke w.client ~operation:"two" (fun r -> order := r :: !order);
+  Alcotest.(check int) "both tracked" 2 (Client.outstanding w.client);
+  reply w ~replica:0 ~timestamp:0L ~result:"r1";
+  reply w ~replica:1 ~timestamp:0L ~result:"r1";
+  (* Completing the first dispatches the second (timestamp 1). *)
+  reply w ~replica:0 ~timestamp:1L ~result:"r2";
+  reply w ~replica:1 ~timestamp:1L ~result:"r2";
+  Alcotest.(check (list string)) "in order" [ "r2"; "r1" ] !order;
+  Alcotest.(check int) "drained" 0 (Client.outstanding w.client)
+
+let test_forged_reply_rejected () =
+  let w = make_world () in
+  let result = ref None in
+  Client.invoke w.client ~operation:"op" (fun r -> result := Some r);
+  (* Replica 3 forges replies claiming to be replicas 0 and 1. *)
+  List.iter
+    (fun claimed ->
+      let body =
+        Message.Reply { view = 0; timestamp = 0L; client = 4; replica = claimed; result = "evil" }
+      in
+      let env =
+        {
+          (Message.seal w.chains.(3) ~sender:3 ~n_principals:w.config.Types.n_principals body)
+          with
+          Message.sender = claimed;
+        }
+      in
+      Client.receive w.client env)
+    [ 0; 1 ];
+  Alcotest.(check (option string)) "forged macs rejected" None !result
+
+let suite =
+  [
+    Alcotest.test_case "request broadcast" `Quick test_request_broadcast;
+    Alcotest.test_case "rw quorum is f+1" `Quick test_rw_quorum_f_plus_1;
+    Alcotest.test_case "byzantine reply outvoted" `Quick test_byzantine_reply_outvoted;
+    Alcotest.test_case "duplicates not double-counted" `Quick
+      test_duplicate_replies_not_double_counted;
+    Alcotest.test_case "stale timestamps ignored" `Quick test_stale_timestamp_ignored;
+    Alcotest.test_case "read-only needs 2f+1" `Quick test_ro_needs_2f_plus_1;
+    Alcotest.test_case "read-only fallback" `Quick test_ro_fallback_after_retries;
+    Alcotest.test_case "outstanding ops queue" `Quick test_queueing_outstanding_ops;
+    Alcotest.test_case "forged replies rejected" `Quick test_forged_reply_rejected;
+  ]

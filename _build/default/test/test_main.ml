@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "base_repro"
+    [
+      ("substrate", Test_substrate.suite);
+      ("state-transfer", Test_state_transfer.suite);
+      ("nfs-model", Test_nfs_model.suite);
+      ("oodb", Test_oodb.suite);
+      ("bft", Test_bft.suite);
+      ("client", Test_client.suite);
+      ("bft-wire", Test_bft_wire.suite);
+      ("batching", Test_batching.suite);
+      ("stack", Test_stack.suite);
+      ("conformance", Test_conformance.suite);
+      ("wrapper-edge", Test_wrapper_edge.suite);
+      ("recovery", Test_recovery.suite);
+      ("workload", Test_workload.suite);
+      ("safety-sweep", Test_safety_sweep.suite);
+      ("stress-combo", Test_stress_combo.suite);
+      ("basefs", Test_basefs.suite);
+    ]

@@ -1,0 +1,131 @@
+(* Tests of the object database and its conformance wrapper: two instances
+   with different seeds (concretely divergent) must agree abstractly on any
+   operation sequence, and put_objs must transplant state between them. *)
+
+open Base_oodb.Oodb_proto
+module W = Base_oodb.Oodb_wrapper
+module Service = Base_core.Service
+module Prng = Base_util.Prng
+
+let n_objects = 32
+
+let make_wrapper ~seed =
+  let clock = ref (Int64.mul seed 7919L) in
+  let now () =
+    clock := Int64.add !clock 101L;
+    !clock
+  in
+  W.make ~seed ~now ~n_objects ()
+
+let exec (w : Service.wrapper) ~ts call =
+  decode_reply
+    (w.Service.execute ~client:9 ~operation:(encode_call call)
+       ~nondet:(Service.nondet_of_clock ts) ~read_only:(read_only_call call) ~modify:ignore)
+
+let states_equal a b =
+  let rec loop i =
+    i >= n_objects
+    || (String.equal (a.Service.get_obj i) (b.Service.get_obj i) && loop (i + 1))
+  in
+  loop 0
+
+let gen_call rng ~live =
+  let any_oid () =
+    match live with
+    | [] -> root_aoid
+    | xs -> List.nth xs (Prng.int rng (List.length xs))
+  in
+  let field () = Prng.pick rng [| "a"; "b"; "name"; "next" |] in
+  match Prng.int rng 10 with
+  | 0 | 1 -> New
+  | 2 | 3 -> Set_field (any_oid (), field (), Printf.sprintf "v%d" (Prng.int rng 100))
+  | 4 -> Set_ref (any_oid (), field (), any_oid ())
+  | 5 -> Clear_ref (any_oid (), field ())
+  | 6 -> Delete (any_oid ())
+  | 7 -> Get (any_oid ())
+  | 8 -> Get_field (any_oid (), field ())
+  | _ -> Count
+
+let run_random_pair seed =
+  let rng = Prng.create seed in
+  let a = make_wrapper ~seed:1L in
+  let b = make_wrapper ~seed:999L in
+  let live = ref [ root_aoid ] in
+  for step = 1 to 300 do
+    let call = gen_call rng ~live:!live in
+    let ts = Int64.of_int (step * 100) in
+    let ra = exec a ~ts call in
+    let rb = exec b ~ts call in
+    if encode_reply ra <> encode_reply rb then
+      Alcotest.failf "divergent reply at step %d" step;
+    (match (call, ra) with
+    | New, R_oid o -> live := o :: !live
+    | Delete o, R_unit -> live := List.filter (fun x -> x <> o) !live
+    | _ -> ())
+  done;
+  (a, b)
+
+let test_two_seeds_agree () =
+  let a, b = run_random_pair 5L in
+  Alcotest.(check bool) "abstract states equal" true (states_equal a b)
+
+let test_basic_operations () =
+  let w = make_wrapper ~seed:3L in
+  let o = match exec w ~ts:10L New with R_oid o -> o | _ -> Alcotest.fail "new" in
+  (match exec w ~ts:20L (Set_field (o, "name", "alice")) with
+  | R_unit -> ()
+  | _ -> Alcotest.fail "set");
+  (match exec w ~ts:30L (Get_field (o, "name")) with
+  | R_field (Some "alice") -> ()
+  | _ -> Alcotest.fail "get");
+  (match exec w ~ts:40L (Set_ref (root_aoid, "head", o)) with
+  | R_unit -> ()
+  | _ -> Alcotest.fail "ref");
+  (match exec w ~ts:50L (Get root_aoid) with
+  | R_value { refs = [ ("head", o') ]; _ } ->
+    Alcotest.(check bool) "ref target" true (o' = o)
+  | _ -> Alcotest.fail "get root");
+  (* Deleting the object clears dangling references abstractly. *)
+  (match exec w ~ts:60L (Delete o) with R_unit -> () | _ -> Alcotest.fail "delete");
+  (match exec w ~ts:70L (Get root_aoid) with
+  | R_value { refs = []; _ } -> ()
+  | _ -> Alcotest.fail "dangling ref visible");
+  match exec w ~ts:80L (Get o) with
+  | R_stale -> ()
+  | _ -> Alcotest.fail "stale oid"
+
+let test_slot_reuse_generation () =
+  let w = make_wrapper ~seed:4L in
+  let o1 = match exec w ~ts:1L New with R_oid o -> o | _ -> Alcotest.fail "new" in
+  ignore (exec w ~ts:2L (Delete o1));
+  let o2 = match exec w ~ts:3L New with R_oid o -> o | _ -> Alcotest.fail "new" in
+  Alcotest.(check int) "slot reused" o1.index o2.index;
+  Alcotest.(check bool) "generation bumped" true (o2.gen > o1.gen)
+
+let test_put_objs_transplant () =
+  let a, _ = run_random_pair 11L in
+  let c = make_wrapper ~seed:4242L in
+  let objs = List.init n_objects (fun i -> (i, a.Service.get_obj i)) in
+  c.Service.put_objs objs;
+  Alcotest.(check bool) "transplanted state equal" true (states_equal a c);
+  (* Still serviceable. *)
+  let r1 = exec a ~ts:99_999L New in
+  let r2 = exec c ~ts:99_999L New in
+  Alcotest.(check bool) "same allocation after transplant" true
+    (encode_reply r1 = encode_reply r2)
+
+let test_stamps_from_agreement () =
+  let w = make_wrapper ~seed:6L in
+  let o = match exec w ~ts:123_456L New with R_oid o -> o | _ -> Alcotest.fail "new" in
+  match exec w ~ts:123_456L (Get o) with
+  | R_value { stamp; _ } -> Alcotest.(check int64) "stamp = agreed ts" 123_456L stamp
+  | _ -> Alcotest.fail "get"
+
+let suite =
+  [
+    Alcotest.test_case "basic operations" `Quick test_basic_operations;
+    Alcotest.test_case "two seeds agree abstractly" `Quick test_two_seeds_agree;
+    Alcotest.test_case "slot reuse bumps generation" `Quick test_slot_reuse_generation;
+    Alcotest.test_case "put_objs transplants state" `Quick test_put_objs_transplant;
+    Alcotest.test_case "stamps from agreed values" `Quick test_stamps_from_agreement;
+  ]

@@ -1,0 +1,116 @@
+(* Tests of the workload machinery: the Andrew generator's determinism and
+   accounting, the cost model, and functional equivalence of the replicated
+   service and the raw baseline on the same workload. *)
+
+module Systems = Base_workload.Systems
+module Fs_iface = Base_workload.Fs_iface
+module Andrew = Base_workload.Andrew
+module Cost_model = Base_workload.Cost_model
+module S = Base_fs.Server_intf
+
+let phases (r : Andrew.result) = List.map (fun p -> p.Andrew.phase) r.Andrew.phases
+
+let test_andrew_phases_and_accounting () =
+  let raw = Systems.make_direct ~impl:"btree" () in
+  let r = Andrew.run ~scale:2 (Fs_iface.of_direct raw) in
+  Alcotest.(check (list string)) "five phases in order"
+    [ "mkdir"; "copy"; "scan"; "read"; "make" ]
+    (phases r);
+  List.iter
+    (fun (p : Andrew.phase_result) ->
+      Alcotest.(check bool) (p.Andrew.phase ^ " did ops") true (p.Andrew.ops > 0);
+      Alcotest.(check bool) (p.Andrew.phase ^ " took time") true (p.Andrew.seconds > 0.0))
+    r.Andrew.phases;
+  (* The read phase reads back exactly the bytes the copy phase wrote. *)
+  let by_name n = List.find (fun p -> p.Andrew.phase = n) r.Andrew.phases in
+  Alcotest.(check int) "read = copy bytes" (by_name "copy").Andrew.bytes
+    (by_name "read").Andrew.bytes
+
+let test_andrew_scales () =
+  let run scale =
+    let raw = Systems.make_direct ~impl:"inode" () in
+    (Andrew.run ~scale (Fs_iface.of_direct raw)).Andrew.total_bytes
+  in
+  let b1 = run 1 and b3 = run 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "scale grows the data volume (%d -> %d)" b1 b3)
+    true (b3 > 2 * b1)
+
+let test_andrew_deterministic () =
+  let run () =
+    let raw = Systems.make_direct ~impl:"log" () in
+    let r = Andrew.run ~scale:1 (Fs_iface.of_direct raw) in
+    (r.Andrew.total_bytes, r.Andrew.total_seconds)
+  in
+  Alcotest.(check bool) "same run twice" true (run () = run ())
+
+let test_cost_model_monotone () =
+  let c = Cost_model.default in
+  Alcotest.(check bool) "reads cheaper than writes" true
+    (Cost_model.op_cost_us c ~read_only:true ~bytes:1024
+    < Cost_model.op_cost_us c ~read_only:false ~bytes:1024);
+  Alcotest.(check bool) "bigger payload costs more" true
+    (Cost_model.op_cost_us c ~read_only:false ~bytes:8192
+    > Cost_model.op_cost_us c ~read_only:false ~bytes:512)
+
+(* The decisive functional check: the replicated service and the raw
+   baseline expose the same file-system contents after the same workload. *)
+let rec tree_listing (fs : Fs_iface.t) dir prefix =
+  List.concat_map
+    (fun (name, fh) ->
+      match fs.Fs_iface.lookup ~dir ~name with
+      | Some (fh', Base_nfs.Nfs_types.Dir) ->
+        (prefix ^ name ^ "/", "") :: tree_listing fs fh' (prefix ^ name ^ "/")
+      | Some (_, Base_nfs.Nfs_types.Reg) ->
+        let size = fs.Fs_iface.size_of ~fh in
+        let data = fs.Fs_iface.read ~fh ~off:0 ~count:size in
+        [ (prefix ^ name, data) ]
+      | Some (_, Base_nfs.Nfs_types.Lnk) | None -> [ (prefix ^ name ^ "@", "") ])
+    (fs.Fs_iface.readdir ~dir)
+
+let test_raw_and_replicated_equivalent () =
+  let raw = Systems.make_direct ~impl:"hash" () in
+  let fs_raw = Fs_iface.of_direct raw in
+  ignore (Andrew.run ~scale:1 fs_raw);
+  let sys = Systems.make_basefs ~hetero:true ~n_clients:1 () in
+  let fs_rep = Fs_iface.of_runtime ~client:0 sys.Systems.runtime in
+  ignore (Andrew.run ~scale:1 fs_rep);
+  let sort = List.sort compare in
+  let raw_tree = sort (tree_listing fs_raw fs_raw.Fs_iface.root "") in
+  let rep_tree = sort (tree_listing fs_rep fs_rep.Fs_iface.root "") in
+  Alcotest.(check int) "same number of objects" (List.length raw_tree) (List.length rep_tree);
+  List.iter2
+    (fun (n1, d1) (n2, d2) ->
+      Alcotest.(check string) "same name" n1 n2;
+      if d1 <> d2 then Alcotest.failf "contents of %s differ" n1)
+    raw_tree rep_tree
+
+let test_micro_rows_sane () =
+  let rows = Base_workload.Micro.run ~n:5 () in
+  Alcotest.(check bool) "has rows" true (List.length rows >= 6);
+  List.iter
+    (fun (r : Base_workload.Micro.row) ->
+      Alcotest.(check bool) (r.Base_workload.Micro.op ^ " positive") true
+        (r.Base_workload.Micro.base_us > 0.0 && r.Base_workload.Micro.raw_us > 0.0))
+    rows;
+  (* Read-only ops must be much closer to raw than read-write ops. *)
+  let mean sel =
+    let xs = List.filter sel rows in
+    List.fold_left (fun a r -> a +. Base_workload.Micro.slowdown r) 0.0 xs
+    /. float_of_int (List.length xs)
+  in
+  let ro = mean (fun r -> r.Base_workload.Micro.read_only) in
+  let rw = mean (fun r -> not r.Base_workload.Micro.read_only) in
+  Alcotest.(check bool)
+    (Printf.sprintf "ro (%.2fx) cheaper than rw (%.2fx)" ro rw)
+    true (ro < rw)
+
+let suite =
+  [
+    Alcotest.test_case "andrew phases + accounting" `Quick test_andrew_phases_and_accounting;
+    Alcotest.test_case "andrew scales" `Quick test_andrew_scales;
+    Alcotest.test_case "andrew deterministic" `Quick test_andrew_deterministic;
+    Alcotest.test_case "cost model monotone" `Quick test_cost_model_monotone;
+    Alcotest.test_case "raw and replicated equivalent" `Slow test_raw_and_replicated_equivalent;
+    Alcotest.test_case "micro-benchmark rows sane" `Slow test_micro_rows_sane;
+  ]
