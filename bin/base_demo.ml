@@ -3,6 +3,7 @@
      base_demo andrew --scale 2 --system base|raw [--recovery]
      base_demo trace  [--ops N]
      base_demo nversion
+     base_demo metrics [--duration S] [--json]
      base_demo loc [DIR]
 
    See README.md for a tour. *)
@@ -159,6 +160,71 @@ let throughput_cmd =
     (Cmd.info "throughput" ~doc:"Concurrent-client throughput with request batching.")
     Term.(const run $ clients $ batch)
 
+let metrics_cmd =
+  let duration =
+    Arg.(value & opt float 6.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Virtual run length.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full report as deterministic JSON.")
+  in
+  let run duration seed json =
+    let sys = Systems.make_basefs ~seed:(Int64.of_int seed) ~hetero:true ~n_clients:1 () in
+    let rt = sys.Systems.runtime in
+    Runtime.enable_proactive_recovery ~reboot_us:100_000 ~period_us:2_000_000 rt;
+    let nfs =
+      Base_nfs.Nfs_client.make (fun ~read_only ~operation ->
+          Runtime.invoke_sync rt ~client:0 ~read_only ~operation ())
+    in
+    let fh, _ =
+      Base_nfs.Nfs_client.ok
+        (Base_nfs.Nfs_client.create nfs Base_nfs.Nfs_types.root_oid "metrics"
+           Base_nfs.Nfs_types.sattr_empty)
+    in
+    let payload = String.make 128 'm' in
+    let rec issue () =
+      Runtime.invoke rt ~client:0
+        ~operation:(Base_nfs.Nfs_proto.encode_call (Base_nfs.Nfs_proto.Write (fh, 0, payload)))
+        (fun _ -> issue ())
+    in
+    issue ();
+    Engine.run
+      ~until:(Sim_time.add (Runtime.now rt) (Sim_time.of_sec duration))
+      (Runtime.engine rt);
+    if json then print_endline (Base_obs.Json.to_string_pretty (Runtime.metrics_report rt))
+    else begin
+      Format.printf "%a" Base_obs.Metrics.pp (Runtime.metrics rt);
+      Printf.printf "\ntraffic by message type:\n";
+      Printf.printf "%-14s %10s %14s %10s %8s\n" "label" "sent" "sent-bytes" "recv" "drop";
+      List.iter
+        (fun (label, c) ->
+          Printf.printf "%-14s %10d %14d %10d %8d\n" label c.Engine.sent_msgs
+            c.Engine.sent_bytes c.Engine.recv_msgs c.Engine.dropped_msgs)
+        (Engine.label_counters (Runtime.engine rt));
+      Printf.printf "\nrecovery timelines (simulated seconds):\n";
+      let sec v = Int64.to_float v /. 1e6 in
+      List.iter
+        (fun tl ->
+          let milestone v = if Int64.compare v 0L < 0 then "-" else Printf.sprintf "%.3f" (sec v) in
+          Printf.printf
+            "replica %d: start %.3f  reboot_done %s  fetch_done %s  %d objects, %d bytes\n"
+            tl.Runtime.tl_rid (sec tl.Runtime.tl_start_us)
+            (milestone tl.Runtime.tl_reboot_done_us)
+            (milestone tl.Runtime.tl_fetch_done_us)
+            tl.Runtime.tl_objects tl.Runtime.tl_bytes)
+        (Runtime.recovery_timelines rt);
+      let st = Runtime.st_totals rt in
+      Printf.printf
+        "\nstate transfer: %d meta, %d objects, %d bytes, %d retries, %d rejected replies\n"
+        st.Base_core.State_transfer.meta_fetched st.Base_core.State_transfer.objects_fetched
+        st.Base_core.State_transfer.bytes_fetched st.Base_core.State_transfer.retries
+        (Base_core.State_transfer.rejected st)
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Run under load and print the observability report.")
+    Term.(const run $ duration $ seed $ json)
+
 let loc_cmd =
   let dir = Arg.(value & pos 0 string "lib" & info [] ~docv:"DIR") in
   let run dir =
@@ -170,4 +236,4 @@ let loc_cmd =
 
 let () =
   let doc = "BASE: using abstraction to improve fault tolerance (reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "base_demo" ~doc) [ andrew_cmd; trace_cmd; nversion_cmd; recovery_cmd; throughput_cmd; loc_cmd ]))
+  exit (Cmd.eval (Cmd.group (Cmd.info "base_demo" ~doc) [ andrew_cmd; trace_cmd; nversion_cmd; recovery_cmd; throughput_cmd; metrics_cmd; loc_cmd ]))

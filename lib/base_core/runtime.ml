@@ -19,6 +19,18 @@ type recovery_stats = {
   mutable total_bytes_fetched : int;
 }
 
+(* One proactive-recovery episode: reboot, then differential fetch.  The
+   [-1L] sentinels mean "not reached yet" — an episode cut short (e.g. the
+   run ended mid-reboot) keeps them. *)
+type recovery_timeline = {
+  tl_rid : int;
+  tl_start_us : int64;
+  mutable tl_reboot_done_us : int64;
+  mutable tl_fetch_done_us : int64;
+  mutable tl_objects : int;
+  mutable tl_bytes : int;
+}
+
 type replica_node = {
   rid : int;
   replica : Replica.t;
@@ -28,6 +40,8 @@ type replica_node = {
   mutable st_retries : int;
   mutable recovering : bool;
   recovery_stats : recovery_stats;
+  mutable timeline : recovery_timeline option;
+      (* the episode currently waiting for its reboot/fetch milestones *)
 }
 
 type t = {
@@ -40,6 +54,12 @@ type t = {
   mutable recovery_period_us : int;
   mutable reboot_us : int;
   mutable recovery_on : bool;
+  metrics : Base_obs.Metrics.t;
+  trace : Base_obs.Trace.t;
+  (* System-wide state-transfer totals, accumulated as per-fetch deltas so
+     they survive the fetchers (which are discarded on completion). *)
+  st_totals : State_transfer.stats;
+  mutable timelines : recovery_timeline list;  (* newest first *)
 }
 
 let msg_size = function Bft env -> env.Message.size | St { body; _ } -> State_transfer.size body
@@ -60,6 +80,16 @@ let client t i = t.clients.(i)
 
 let now t = Engine.now t.engine
 
+let metrics t = t.metrics
+
+let trace t = t.trace
+
+let st_totals t = t.st_totals
+
+let recovery_timelines t = List.rev t.timelines
+
+let trace_event t name attrs = Base_obs.Trace.event t.trace ~ts:(now t) ~name attrs
+
 (* --- state-transfer plumbing --------------------------------------------- *)
 
 let st_broadcast t ~src body =
@@ -68,6 +98,29 @@ let st_broadcast t ~src body =
   done
 
 let st_retry_period_us = 200_000
+
+(* Verification failures tolerated on one fetch before we conclude the
+   target itself is bad (stale or fabricated) and re-certify.  Rejections
+   only accumulate for still-pending pieces, so a healthy fetch — where a
+   correct reply races every faulty one — stays well below this. *)
+let st_reject_threshold = 12
+
+(* Finish the recovery episode attached to [node], if one is waiting for
+   its fetch milestone. *)
+let close_timeline t node =
+  match node.timeline with
+  | Some tl ->
+    tl.tl_fetch_done_us <- Engine.now t.engine;
+    tl.tl_objects <- node.recovery_stats.last_objects_fetched;
+    tl.tl_bytes <- node.recovery_stats.last_bytes_fetched;
+    node.timeline <- None;
+    trace_event t "recovery.fetch_done"
+      [
+        ("bytes", string_of_int tl.tl_bytes);
+        ("objects", string_of_int tl.tl_objects);
+        ("rid", string_of_int node.rid);
+      ]
+  | None -> ()
 
 (* Forward declaration hack: replica creation needs an app record whose
    closures refer to the node being created. *)
@@ -84,6 +137,7 @@ let start_fetch t node ~seq ~digest =
           failwith
             (Printf.sprintf "replica %d: inverse abstraction diverged after state transfer"
                node.rid);
+        close_timeline t node;
         Replica.fetch_complete node.replica ~seq ~app_digest:app_root ~client_rows)
   in
   if State_transfer.finished fetcher then ()
@@ -94,6 +148,15 @@ let start_fetch t node ~seq ~digest =
       (Engine.set_timer t.engine ~node:node.rid ~after:(Sim_time.of_us st_retry_period_us)
          ~tag:"st_retry" ~payload:0)
   end
+
+(* Abandon the current fetch and restart against the freshest certified
+   checkpoint — the escape hatch for both a garbage-collected target and a
+   target digest we can no longer verify anything against. *)
+let retarget_fetch t node ~reason =
+  node.fetcher <- None;
+  Replica.abort_fetch node.replica;
+  trace_event t "st.retarget" [ ("reason", reason); ("rid", string_of_int node.rid) ];
+  Replica.initiate_fetch node.replica
 
 let handle_st t node ~from body =
   match body with
@@ -107,6 +170,10 @@ let handle_st t node ~from body =
       let st = State_transfer.stats fetcher in
       let bytes_before = st.State_transfer.bytes_fetched in
       let objs_before = st.State_transfer.objects_fetched in
+      let meta_before = st.State_transfer.meta_fetched in
+      let heads_rej_before = st.State_transfer.heads_rejected in
+      let meta_rej_before = st.State_transfer.meta_rejected in
+      let objs_rej_before = st.State_transfer.objects_rejected in
       State_transfer.handle_reply fetcher body;
       let bytes_delta = st.State_transfer.bytes_fetched - bytes_before in
       let objs_delta = st.State_transfer.objects_fetched - objs_before in
@@ -117,7 +184,26 @@ let handle_st t node ~from body =
       node.recovery_stats.total_objects_fetched <-
         node.recovery_stats.total_objects_fetched + objs_delta;
       node.recovery_stats.last_objects_fetched <-
-        node.recovery_stats.last_objects_fetched + objs_delta
+        node.recovery_stats.last_objects_fetched + objs_delta;
+      let tot = t.st_totals in
+      tot.State_transfer.bytes_fetched <- tot.State_transfer.bytes_fetched + bytes_delta;
+      tot.State_transfer.objects_fetched <- tot.State_transfer.objects_fetched + objs_delta;
+      tot.State_transfer.meta_fetched <-
+        tot.State_transfer.meta_fetched + (st.State_transfer.meta_fetched - meta_before);
+      tot.State_transfer.heads_rejected <-
+        tot.State_transfer.heads_rejected + (st.State_transfer.heads_rejected - heads_rej_before);
+      tot.State_transfer.meta_rejected <-
+        tot.State_transfer.meta_rejected + (st.State_transfer.meta_rejected - meta_rej_before);
+      tot.State_transfer.objects_rejected <-
+        tot.State_transfer.objects_rejected
+        + (st.State_transfer.objects_rejected - objs_rej_before);
+      if State_transfer.rejected st > heads_rej_before + meta_rej_before + objs_rej_before
+      then begin
+        trace_event t "st.reject"
+          [ ("from", string_of_int from); ("rid", string_of_int node.rid) ];
+        if State_transfer.rejected st >= st_reject_threshold then
+          retarget_fetch t node ~reason:"rejections"
+      end
     | None -> ())
 
 (* --- recovery -------------------------------------------------------------- *)
@@ -139,7 +225,7 @@ let begin_reintegration t node =
      checkpoint exposes any divergence. *)
   (match Replica.fetch_target node.replica with
   | Some (seq, digest) -> Replica.force_fetch node.replica ~seq ~digest
-  | None -> ());
+  | None -> close_timeline t node);
   node.recovering <- false
 
 let recover_now ?reboot_us t rid =
@@ -148,6 +234,19 @@ let recover_now ?reboot_us t rid =
   if not node.recovering then begin
     node.recovering <- true;
     node.recovery_stats.recoveries <- node.recovery_stats.recoveries + 1;
+    let tl =
+      {
+        tl_rid = rid;
+        tl_start_us = now t;
+        tl_reboot_done_us = -1L;
+        tl_fetch_done_us = -1L;
+        tl_objects = 0;
+        tl_bytes = 0;
+      }
+    in
+    node.timeline <- Some tl;
+    t.timelines <- tl :: t.timelines;
+    trace_event t "recovery.start" [ ("rid", string_of_int rid) ];
     (* Abandon any in-flight fetch: its timers die with the reboot. *)
     node.fetcher <- None;
     Replica.abort_fetch node.replica;
@@ -170,6 +269,10 @@ let on_orchestrator_timer t ~tag ~payload =
   | "reboot_done" ->
     let node = t.replicas.(payload) in
     Engine.set_node_up t.engine payload true;
+    (match node.timeline with
+    | Some tl -> tl.tl_reboot_done_us <- now t
+    | None -> ());
+    trace_event t "recovery.reboot_done" [ ("rid", string_of_int payload) ];
     begin_reintegration t node
   | _ -> ()
 
@@ -198,6 +301,10 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
     | None -> Engine.default_config ~size_of:msg_size ~label_of:msg_label
   in
   let engine = Engine.create engine_config in
+  (* One registry for the whole system: replica histograms aggregate across
+     the group, which is what the benchmark tables report. *)
+  let metrics = Base_obs.Metrics.create () in
+  let trace = Base_obs.Trace.create () in
   let chains =
     Auth.create ~seed:(Int64.add engine_config.Engine.seed 7919L)
       ~n_principals:config.Types.n_principals
@@ -213,6 +320,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
         (fun ~after_us ~tag ~payload ->
           Engine.set_timer engine ~node:rid ~after:(Sim_time.of_us after_us) ~tag ~payload);
       cancel_timer = (fun id -> Engine.cancel_timer engine id);
+      now_us = (fun () -> Engine.now engine);
     }
   in
   let make_replica rid =
@@ -252,7 +360,8 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       }
     in
     let replica =
-      Replica.create ~config ~id:rid ~keychain:chains.(rid) ~net:(replica_net rid) ~app
+      Replica.create ~metrics ~config ~id:rid ~keychain:chains.(rid) ~net:(replica_net rid)
+        ~app ()
     in
     let node =
       {
@@ -271,6 +380,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
             total_objects_fetched = 0;
             total_bytes_fetched = 0;
           };
+        timeline = None;
       }
     in
     replica_cells.(rid) <- Some node;
@@ -304,6 +414,19 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       recovery_period_us = 0;
       reboot_us = 2_000_000;
       recovery_on = false;
+      metrics;
+      trace;
+      st_totals =
+        {
+          State_transfer.meta_fetched = 0;
+          objects_fetched = 0;
+          bytes_fetched = 0;
+          retries = 0;
+          heads_rejected = 0;
+          meta_rejected = 0;
+          objects_rejected = 0;
+        };
+      timelines = [];
     }
   in
   t_cell := Some t;
@@ -322,16 +445,17 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
             match node.fetcher with
             | Some fetcher when not (State_transfer.finished fetcher) ->
               node.st_retries <- node.st_retries + 1;
-              if node.st_retries > 8 then begin
+              if node.st_retries > 8 then
                 (* The target checkpoint was probably garbage-collected by
                    the group while we fetched; restart against the freshest
                    certified checkpoint. *)
-                node.fetcher <- None;
-                Replica.abort_fetch node.replica;
-                Replica.initiate_fetch node.replica
-              end
+                retarget_fetch t node ~reason:"timeout"
               else begin
                 State_transfer.retry fetcher;
+                t.st_totals.State_transfer.retries <- t.st_totals.State_transfer.retries + 1;
+                trace_event t "st.retry"
+                  [ ("attempt", string_of_int node.st_retries);
+                    ("rid", string_of_int node.rid) ];
                 ignore
                   (Engine.set_timer engine ~node:node.rid
                      ~after:(Sim_time.of_us st_retry_period_us) ~tag:"st_retry" ~payload:0)
@@ -381,3 +505,61 @@ let invoke_sync t ~client:idx ?read_only ~operation () =
   | None -> failwith "Runtime.invoke_sync: event budget exceeded"
 
 let set_behavior t rid b = Replica.set_behavior t.replicas.(rid).replica b
+
+(* --- observability export --------------------------------------------------- *)
+
+let counters_json (c : Engine.counters) =
+  Base_obs.Json.obj
+    [
+      ("dropped_msgs", Base_obs.Json.Int c.Engine.dropped_msgs);
+      ("recv_bytes", Base_obs.Json.Int c.Engine.recv_bytes);
+      ("recv_msgs", Base_obs.Json.Int c.Engine.recv_msgs);
+      ("sent_bytes", Base_obs.Json.Int c.Engine.sent_bytes);
+      ("sent_msgs", Base_obs.Json.Int c.Engine.sent_msgs);
+    ]
+
+let timeline_json tl =
+  let us v = if Int64.compare v 0L < 0 then Base_obs.Json.Null else Base_obs.Json.Int (Int64.to_int v) in
+  Base_obs.Json.obj
+    [
+      ("bytes", Base_obs.Json.Int tl.tl_bytes);
+      ("fetch_done_us", us tl.tl_fetch_done_us);
+      ("objects", Base_obs.Json.Int tl.tl_objects);
+      ("reboot_done_us", us tl.tl_reboot_done_us);
+      ("rid", Base_obs.Json.Int tl.tl_rid);
+      ("start_us", Base_obs.Json.Int (Int64.to_int tl.tl_start_us));
+    ]
+
+let metrics_report t =
+  let open Base_obs.Json in
+  let st = t.st_totals in
+  obj
+    [
+      ( "net",
+        obj
+          [
+            ( "labels",
+              obj
+                (List.map
+                   (fun (label, c) -> (label, counters_json c))
+                   (Engine.label_counters t.engine)) );
+            ("max_queue_depth", Int (Engine.max_queue_depth t.engine));
+            ("queue_depth", Int (Engine.queue_depth t.engine));
+            ("totals", counters_json (Engine.total_counters t.engine));
+          ] );
+      ("metrics", Base_obs.Metrics.to_json t.metrics);
+      ("recoveries", List (List.map timeline_json (recovery_timelines t)));
+      ( "state_transfer",
+        obj
+          [
+            ("bytes_fetched", Int st.State_transfer.bytes_fetched);
+            ("heads_rejected", Int st.State_transfer.heads_rejected);
+            ("meta_fetched", Int st.State_transfer.meta_fetched);
+            ("meta_rejected", Int st.State_transfer.meta_rejected);
+            ("objects_fetched", Int st.State_transfer.objects_fetched);
+            ("objects_rejected", Int st.State_transfer.objects_rejected);
+            ("rejected", Int (State_transfer.rejected st));
+            ("retries", Int st.State_transfer.retries);
+          ] );
+      ("trace_events", Int (Base_obs.Trace.length t.trace));
+    ]

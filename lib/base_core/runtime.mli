@@ -23,6 +23,19 @@ type recovery_stats = {
   mutable total_bytes_fetched : int;
 }
 
+(** One proactive-recovery episode.  Timestamps are simulation time; [-1L]
+    means the milestone was not reached (run ended mid-episode). *)
+type recovery_timeline = {
+  tl_rid : int;
+  tl_start_us : int64;
+  mutable tl_reboot_done_us : int64;
+  mutable tl_fetch_done_us : int64;
+      (** also set, equal to [tl_reboot_done_us], when there was nothing to
+          fetch *)
+  mutable tl_objects : int;
+  mutable tl_bytes : int;
+}
+
 type replica_node = {
   rid : int;
   replica : Base_bft.Replica.t;
@@ -32,6 +45,7 @@ type replica_node = {
   mutable st_retries : int;  (** retries of the current fetch before re-targeting *)
   mutable recovering : bool;
   recovery_stats : recovery_stats;
+  mutable timeline : recovery_timeline option;
 }
 
 val msg_size : msg -> int
@@ -95,3 +109,31 @@ val disable_proactive_recovery : t -> unit
 
 val recover_now : ?reboot_us:int -> t -> int -> unit
 (** Force one replica through the recovery procedure immediately. *)
+
+(** {1 Observability}
+
+    Every value below is a pure function of the simulation seed: metrics
+    are driven by the virtual clock, traces carry virtual timestamps, and
+    all JSON renders with sorted keys — two runs with the same seed export
+    byte-identical reports. *)
+
+val metrics : t -> Base_obs.Metrics.t
+(** The system-wide registry: per-phase replica histograms
+    ([bft.phase.*_us], [bft.view_change_us], [bft.checkpoint_interval_us])
+    aggregated across the whole group. *)
+
+val trace : t -> Base_obs.Trace.t
+(** Structured runtime events: [recovery.start] / [recovery.reboot_done] /
+    [recovery.fetch_done], [st.retry] / [st.reject] / [st.retarget]. *)
+
+val st_totals : t -> State_transfer.stats
+(** State-transfer traffic summed over every fetch by every replica,
+    including fetchers already discarded. *)
+
+val recovery_timelines : t -> recovery_timeline list
+(** Every recovery episode so far, oldest first. *)
+
+val metrics_report : t -> Base_obs.Json.t
+(** One deterministic report object: network totals and per-label
+    breakdowns, queue depths, the metrics registry, recovery timelines and
+    state-transfer totals. *)

@@ -14,8 +14,16 @@ type msg =
   | Fetch_obj of { seq : int; index : int }
   | Obj_reply of { seq : int; index : int; data : string }
 
+(* Exact size of the XDR encoding produced by [rows_digest]: a u32 list
+   header, then per row u32 client + i64 timestamp + length-prefixed opaque
+   result padded to a 4-byte boundary.  Keeping this in lockstep with the
+   encoder is what makes the simulator's bandwidth accounting honest. *)
+let xdr_opaque_size s =
+  let n = String.length s in
+  4 + n + ((4 - (n mod 4)) mod 4)
+
 let rows_size rows =
-  List.fold_left (fun acc (_, _, res) -> acc + 16 + String.length res) 0 rows
+  List.fold_left (fun acc (_, _, res) -> acc + 4 + 8 + xdr_opaque_size res) 4 rows
 
 let size = function
   | Fetch_head _ -> 16
@@ -78,7 +86,16 @@ type stats = {
   mutable meta_fetched : int;
   mutable objects_fetched : int;
   mutable bytes_fetched : int;
+  mutable retries : int;
+  (* Replies whose payload failed digest verification against the certified
+     target — the signature of a Byzantine or stale responder.  Exposed so
+     the runtime can re-target a fetch instead of stalling on retries. *)
+  mutable heads_rejected : int;
+  mutable meta_rejected : int;
+  mutable objects_rejected : int;
 }
+
+let rejected s = s.heads_rejected + s.meta_rejected + s.objects_rejected
 
 type t = {
   repo : Objrepo.t;
@@ -115,7 +132,16 @@ let start ~repo ~target_seq ~target_digest ~send ~on_complete =
       pending_objs = Hashtbl.create 64;
       fetched = Hashtbl.create 64;
       done_ = false;
-      stats = { meta_fetched = 0; objects_fetched = 0; bytes_fetched = 0 };
+      stats =
+        {
+          meta_fetched = 0;
+          objects_fetched = 0;
+          bytes_fetched = 0;
+          retries = 0;
+          heads_rejected = 0;
+          meta_rejected = 0;
+          objects_rejected = 0;
+        };
     }
   in
   send (Fetch_head { seq = target_seq });
@@ -171,6 +197,11 @@ let handle_reply t msg =
         expand t ~level:0 ~index:0 app_root;
         maybe_complete t
       end
+      else
+        (* A head that does not verify against the certified checkpoint
+           digest: Byzantine or stale responder.  Count it so the runtime
+           can re-target instead of stalling on blind retries. *)
+        t.stats.heads_rejected <- t.stats.heads_rejected + 1
     | Meta_reply { seq; level; index; children } when seq = t.target_seq -> (
       match Hashtbl.find_opt t.pending_meta (level, index) with
       | Some certified
@@ -182,7 +213,9 @@ let handle_reply t msg =
         let first, _last = Partition_tree.child_span tree ~level ~index in
         Array.iteri (fun k d -> expand t ~level:(level + 1) ~index:(first + k) d) children;
         maybe_complete t
-      | Some _ | None -> ())
+      | Some _ ->
+        t.stats.meta_rejected <- t.stats.meta_rejected + 1
+      | None -> ())
     | Obj_reply { seq; index; data } when seq = t.target_seq -> (
       (if !debug then
          match Hashtbl.find_opt t.pending_objs index with
@@ -199,7 +232,9 @@ let handle_reply t msg =
         t.stats.objects_fetched <- t.stats.objects_fetched + 1;
         t.stats.bytes_fetched <- t.stats.bytes_fetched + String.length data;
         maybe_complete t
-      | Some _ | None -> ())
+      | Some _ ->
+        t.stats.objects_rejected <- t.stats.objects_rejected + 1
+      | None -> ())
     | Head_reply _ | Meta_reply _ | Obj_reply _
     | Fetch_head _ | Fetch_meta _ | Fetch_obj _ -> ()
   end
@@ -213,6 +248,7 @@ let dump t =
 let retry t =
   if !debug then dump t;
   if not t.done_ then begin
+    t.stats.retries <- t.stats.retries + 1;
     if t.app_root = None then t.send (Fetch_head { seq = t.target_seq });
     Hashtbl.iter (fun (level, index) _ -> t.send (Fetch_meta { seq = t.target_seq; level; index }))
       t.pending_meta;

@@ -57,7 +57,18 @@ type stats = {
   mutable meta_fetched : int;
   mutable objects_fetched : int;
   mutable bytes_fetched : int;
+  mutable retries : int;  (** {!retry} rounds driven by the runtime timer *)
+  (* Replies whose payload failed digest verification against the certified
+     target — the signature of a Byzantine or stale responder. *)
+  mutable heads_rejected : int;
+  mutable meta_rejected : int;
+  mutable objects_rejected : int;
 }
+
+val rejected : stats -> int
+(** Total verification failures across heads, meta nodes and objects.  A
+    fetch accumulating rejections is talking to a faulty responder; the
+    runtime uses this to re-target instead of retrying blindly. *)
 
 type t
 

@@ -15,6 +15,7 @@ type net = {
   send : dst:int -> Message.envelope -> unit;
   set_timer : after_us:int -> tag:string -> payload:int -> int;
   cancel_timer : int -> unit;
+  now_us : unit -> int64;
 }
 
 type behavior = Honest | Mute | Lie_in_replies | Equivocate
@@ -30,8 +31,40 @@ type stats = {
   mutable rejected_macs : int;
 }
 
+(* Protocol-phase instrumentation: latency histograms over the local
+   timeline of each log slot (pre-prepare accepted -> prepared -> committed
+   -> executed), plus view-change duration and checkpoint cadence.  The
+   registry is normally shared by every replica of a system, so histograms
+   aggregate across the group. *)
+type obs = {
+  m_pre_prepare : Base_obs.Metrics.histogram;
+  m_prepare : Base_obs.Metrics.histogram;
+  m_commit : Base_obs.Metrics.histogram;
+  m_execute : Base_obs.Metrics.histogram;
+  m_total : Base_obs.Metrics.histogram;
+  m_view_change : Base_obs.Metrics.histogram;
+  m_cp_interval : Base_obs.Metrics.histogram;
+  mutable vc_started : int64;  (* -1 when no view change is in progress *)
+  mutable last_cp : int64;  (* timestamp of the previous checkpoint; -1 before the first *)
+}
+
+let make_obs metrics =
+  let h name = Base_obs.Metrics.histogram metrics name in
+  {
+    m_pre_prepare = h "bft.phase.pre_prepare_us";
+    m_prepare = h "bft.phase.prepare_us";
+    m_commit = h "bft.phase.commit_us";
+    m_execute = h "bft.phase.execute_us";
+    m_total = h "bft.phase.total_us";
+    m_view_change = h "bft.view_change_us";
+    m_cp_interval = h "bft.checkpoint_interval_us";
+    vc_started = -1L;
+    last_cp = -1L;
+  }
+
 (* Per-sequence-number log slot.  The prepare/commit tables are keyed by
-   replica id; certificates are counted over matching digests. *)
+   replica id; certificates are counted over matching digests.  The [t_*]
+   fields are local phase timestamps (-1 = milestone not reached). *)
 type entry = {
   mutable pre_prepare : M.pre_prepare option;
   prepares : (int, Digest.t) Hashtbl.t;
@@ -39,12 +72,16 @@ type entry = {
   mutable sent_commit : bool;
   mutable committed : bool;
   mutable prepared_proof : M.prepared_proof option;
+  mutable t_pp : int64;
+  mutable t_prepared : int64;
+  mutable t_committed : int64;
 }
 
 type client_rec = {
   mutable last_ts : int64;  (* timestamp of last executed request *)
   mutable last_reply : M.reply option;
   mutable pending : M.request option;  (* received but not yet executed *)
+  mutable pending_since : int64;  (* local arrival time of [pending]; -1 = none *)
   mutable assigned_ts : int64;  (* primary: highest timestamp given a seqno *)
   mutable assigned_seq : Types.seqno;
 }
@@ -76,6 +113,7 @@ type t = {
   mutable resume_vc_after_fetch : bool;
   peer_views : (int, Types.view) Hashtbl.t;  (* latest STATUS-reported views *)
   stats : stats;
+  obs : obs;
 }
 
 let fresh_entry () =
@@ -86,7 +124,18 @@ let fresh_entry () =
     sent_commit = false;
     committed = false;
     prepared_proof = None;
+    t_pp = -1L;
+    t_prepared = -1L;
+    t_committed = -1L;
   }
+
+let now t = t.net.now_us ()
+
+(* Record [until - since] in [hist]; skipped when the earlier milestone was
+   never seen locally (e.g. the slot arrived pre-committed via new-view). *)
+let observe_span hist ~since ~until =
+  if Int64.compare since 0L >= 0 && Int64.compare until since >= 0 then
+    Base_obs.Metrics.observe hist (Int64.to_float (Int64.sub until since))
 
 let get_entry t seq =
   match Hashtbl.find_opt t.entries seq with
@@ -101,7 +150,14 @@ let client_rec t c =
   | Some r -> r
   | None ->
     let r =
-      { last_ts = -1L; last_reply = None; pending = None; assigned_ts = -1L; assigned_seq = -1 }
+      {
+        last_ts = -1L;
+        last_reply = None;
+        pending = None;
+        pending_since = -1L;
+        assigned_ts = -1L;
+        assigned_seq = -1;
+      }
     in
     Hashtbl.replace t.clients c r;
     r
@@ -232,6 +288,8 @@ and take_checkpoint t =
   let d = checkpoint_digest ~app_digest ~client_digest:(client_table_digest t) in
   Hashtbl.replace t.own_cps seq d;
   t.stats.checkpoints_taken <- t.stats.checkpoints_taken + 1;
+  observe_span t.obs.m_cp_interval ~since:t.obs.last_cp ~until:(now t);
+  t.obs.last_cp <- now t;
   broadcast t (M.Checkpoint { seq; digest = d; replica = t.id });
   maybe_stable t seq
 
@@ -242,7 +300,7 @@ and try_execute t =
   while !continue do
     let seq = t.last_exec + 1 in
     match Hashtbl.find_opt t.entries seq with
-    | Some { committed = true; pre_prepare = Some pp; _ } ->
+    | Some ({ committed = true; pre_prepare = Some pp; _ } as entry) ->
       List.iter
         (fun (r : M.request) ->
           if r.client >= 0 then begin
@@ -276,6 +334,8 @@ and try_execute t =
         pp.requests;
       t.last_exec <- seq;
       t.stats.executed <- t.stats.executed + 1;
+      observe_span t.obs.m_execute ~since:entry.t_committed ~until:(now t);
+      observe_span t.obs.m_total ~since:entry.t_pp ~until:(now t);
       restart_vc_timer t;
       drain_queue t;
       if seq mod t.config.checkpoint_period = 0 then take_checkpoint t
@@ -289,6 +349,8 @@ and maybe_committed t _seq entry =
   | Some pp when entry.prepared_proof <> None && not entry.committed ->
     if count_matching entry.commits pp.digest >= Types.quorum t.config then begin
       entry.committed <- true;
+      entry.t_committed <- now t;
+      observe_span t.obs.m_commit ~since:entry.t_prepared ~until:entry.t_committed;
       try_execute t
     end
   | Some _ | None -> ()
@@ -312,6 +374,8 @@ and maybe_prepared t seq entry =
             pp_requests = pp.requests;
             pp_nondet = pp.nondet;
           };
+      entry.t_prepared <- now t;
+      observe_span t.obs.m_prepare ~since:entry.t_pp ~until:entry.t_prepared;
       if not entry.sent_commit then begin
         entry.sent_commit <- true;
         Hashtbl.replace entry.commits t.id pp.digest;
@@ -334,11 +398,16 @@ and assign t (batch : M.request list) =
   let pp = { M.view = t.view; seq; digest; requests = batch; nondet } in
   let entry = get_entry t seq in
   entry.pre_prepare <- Some pp;
+  entry.t_pp <- now t;
   List.iter
     (fun (r : M.request) ->
       let cr = client_rec t r.client in
       cr.assigned_ts <- r.timestamp;
-      cr.assigned_seq <- seq)
+      cr.assigned_seq <- seq;
+      if Int64.compare cr.pending_since 0L >= 0 then begin
+        observe_span t.obs.m_pre_prepare ~since:cr.pending_since ~until:entry.t_pp;
+        cr.pending_since <- -1L
+      end)
     batch;
   (match t.behavior with
   | Equivocate ->
@@ -432,7 +501,9 @@ let handle_request t env (r : M.request) =
     else begin
       (match cr.pending with
       | Some p when p.timestamp >= r.timestamp -> ()
-      | Some _ | None -> cr.pending <- Some r);
+      | Some _ | None ->
+        if cr.pending = None then cr.pending_since <- now t;
+        cr.pending <- Some r);
       if t.status = Normal then begin
         if is_primary t then propose t r
         else begin
@@ -466,7 +537,10 @@ let handle_pre_prepare t sender (pp : M.pre_prepare) =
       Hashtbl.reset entry.prepares;
       Hashtbl.reset entry.commits;
       entry.sent_commit <- false;
-      entry.prepared_proof <- None
+      entry.prepared_proof <- None;
+      entry.t_pp <- -1L;
+      entry.t_prepared <- -1L;
+      entry.t_committed <- -1L
     | Some _ | None -> ());
     let acceptable =
       match entry.pre_prepare with
@@ -480,10 +554,18 @@ let handle_pre_prepare t sender (pp : M.pre_prepare) =
     in
     if acceptable && entry.pre_prepare = None then begin
       entry.pre_prepare <- Some pp;
+      entry.t_pp <- now t;
       List.iter
         (fun (r : M.request) ->
           if r.client >= 0 then begin
             let cr = client_rec t r.client in
+            (* The pre-prepare span is only meaningful when the request was
+               already known here (relayed to the primary earlier); requests
+               first learned from the pre-prepare itself would record 0. *)
+            if Int64.compare cr.pending_since 0L >= 0 then begin
+              observe_span t.obs.m_pre_prepare ~since:cr.pending_since ~until:entry.t_pp;
+              cr.pending_since <- -1L
+            end;
             match cr.pending with
             | Some p when p.timestamp >= r.timestamp -> ()
             | Some _ | None -> if r.timestamp > cr.last_ts then cr.pending <- Some r
@@ -683,6 +765,7 @@ let rec do_view_change t v' =
   if v' > t.view || (v' = t.view && t.status = Normal) then begin
     t.view <- v';
     t.status <- View_changing;
+    if Int64.compare t.obs.vc_started 0L < 0 then t.obs.vc_started <- now t;
     t.stats.view_changes <- t.stats.view_changes + 1;
     cancel_vc_timer t;
     let vc =
@@ -706,6 +789,8 @@ let rec do_view_change t v' =
 and install_new_view t v' min_s (o : M.pre_prepare list) =
   t.view <- v';
   t.status <- Normal;
+  observe_span t.obs.m_view_change ~since:t.obs.vc_started ~until:(now t);
+  t.obs.vc_started <- -1L;
   t.resume_vc_after_fetch <- false;
   t.vc_timeout_us <- t.config.viewchange_timeout_us;
   cancel_vc_timer t;
@@ -715,6 +800,7 @@ and install_new_view t v' min_s (o : M.pre_prepare list) =
       let entry = get_entry t pp.seq in
       if not entry.committed then begin
         entry.pre_prepare <- Some pp;
+        entry.t_pp <- now t;
         Hashtbl.reset entry.prepares;
         if not entry.sent_commit then Hashtbl.reset entry.commits;
         entry.prepared_proof <- None;
@@ -896,6 +982,7 @@ let handle_status t sender (st : M.status_msg) =
     if lower >= Types.quorum t.config - 1 && not prepared_above then begin
       t.view <- target;
       t.status <- Normal;
+      t.obs.vc_started <- -1L;
       t.vc_timeout_us <- t.config.viewchange_timeout_us;
       cancel_vc_timer t;
       if has_pending t then start_vc_timer t
@@ -970,7 +1057,10 @@ let receive t (env : M.envelope) =
     | M.Reply _ -> ()
   end
 
-let create ~config ~id ~keychain ~net ~app =
+let create ?metrics ~config ~id ~keychain ~net ~app () =
+  let metrics =
+    match metrics with Some m -> m | None -> Base_obs.Metrics.create ()
+  in
   let t =
     {
       config;
@@ -1007,6 +1097,7 @@ let create ~config ~id ~keychain ~net ~app =
           fetches = 0;
           rejected_macs = 0;
         };
+      obs = make_obs metrics;
     }
   in
   (* Initial checkpoint at seqno 0 so watermark logic is uniform. *)

@@ -38,6 +38,9 @@ type net = {
   send : dst:int -> Message.envelope -> unit;
   set_timer : after_us:int -> tag:string -> payload:int -> int;
   cancel_timer : int -> unit;
+  now_us : unit -> int64;
+      (** Virtual time (simulation clock, {e not} the replica's skewed local
+          clock) — used only for protocol-phase instrumentation. *)
 }
 
 (** Fault-injection behaviours (Byzantine replicas for E6/E9). *)
@@ -61,14 +64,24 @@ type stats = {
 type t
 
 val create :
+  ?metrics:Base_obs.Metrics.t ->
   config:Types.config ->
   id:int ->
   keychain:Base_crypto.Auth.keychain ->
   net:net ->
   app:app ->
+  unit ->
   t
 (** A fresh replica in view 0 with an empty log.  The initial-state
-    checkpoint (seq 0) is taken immediately. *)
+    checkpoint (seq 0) is taken immediately.
+
+    [metrics] receives per-phase latency histograms
+    ([bft.phase.{pre_prepare,prepare,commit,execute,total}_us] — each slot's
+    local milestone-to-milestone latency), view-change durations
+    ([bft.view_change_us]) and checkpoint cadence
+    ([bft.checkpoint_interval_us]).  Pass the same registry to every replica
+    of a system to aggregate across the group; when omitted, a private
+    (unobservable) registry is used. *)
 
 val id : t -> int
 

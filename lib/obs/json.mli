@@ -1,0 +1,26 @@
+(** Minimal deterministic JSON emitter for the observability subsystem.
+
+    Every rendering function sorts object keys, prints floats canonically
+    ("<n>.0" for integral values, shortest round-trippable form otherwise)
+    and maps non-finite floats to [null], so the same value always renders
+    to the same bytes — the property the benchmark regression gates rely
+    on.  There is deliberately no parser: this is an output format. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val obj : (string * t) list -> t
+(** [Obj] with the fields sorted by key (rendering re-sorts anyway; this
+    keeps values canonical when compared structurally). *)
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering for humans; same ordering guarantees. *)

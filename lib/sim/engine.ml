@@ -62,6 +62,10 @@ and 'msg t = {
   cancelled : (int, unit) Hashtbl.t;
   mutable partition_groups : (int list * int list) option;
   totals : counters;
+  (* Per-message-type traffic breakdown, keyed by the label with its
+     parameter list stripped ("PRE-PREPARE(v=0,n=2)" -> "PRE-PREPARE"). *)
+  labels : (string, counters) Hashtbl.t;
+  mutable max_queue_depth : int;
   mutable tracer : (Sim_time.t -> string -> unit) option;
 }
 
@@ -76,8 +80,26 @@ let create config =
     cancelled = Hashtbl.create 16;
     partition_groups = None;
     totals = fresh_counters ();
+    labels = Hashtbl.create 16;
+    max_queue_depth = 0;
     tracer = None;
   }
+
+let base_label label =
+  match String.index_opt label '(' with Some i -> String.sub label 0 i | None -> label
+
+let label_counters_of t msg =
+  let key = base_label (t.config.label_of msg) in
+  match Hashtbl.find_opt t.labels key with
+  | Some c -> c
+  | None ->
+    let c = fresh_counters () in
+    Hashtbl.replace t.labels key c;
+    c
+
+let note_queue_depth t =
+  let depth = Base_util.Heap.length t.queue in
+  if depth > t.max_queue_depth then t.max_queue_depth <- depth
 
 let trace t fmt =
   Format.kasprintf
@@ -122,10 +144,13 @@ let blocked t src dst =
 let send t ~src ~dst msg =
   let size = t.config.size_of msg in
   let sender = get_node t src in
+  let per_label = label_counters_of t msg in
   sender.counters.sent_msgs <- sender.counters.sent_msgs + 1;
   sender.counters.sent_bytes <- sender.counters.sent_bytes + size;
   t.totals.sent_msgs <- t.totals.sent_msgs + 1;
   t.totals.sent_bytes <- t.totals.sent_bytes + size;
+  per_label.sent_msgs <- per_label.sent_msgs + 1;
+  per_label.sent_bytes <- per_label.sent_bytes + size;
   let dropped =
     blocked t src dst
     || (t.config.drop_p > 0.0 && Prng.bernoulli t.rng t.config.drop_p)
@@ -133,6 +158,7 @@ let send t ~src ~dst msg =
   if dropped then begin
     t.totals.dropped_msgs <- t.totals.dropped_msgs + 1;
     sender.counters.dropped_msgs <- sender.counters.dropped_msgs + 1;
+    per_label.dropped_msgs <- per_label.dropped_msgs + 1;
     trace t "drop  %d->%d %s (%dB)" src dst (t.config.label_of msg) size
   end
   else begin
@@ -148,7 +174,8 @@ let send t ~src ~dst msg =
       Sim_time.of_us (t.config.latency_us + int_of_float (jitter +. tx_us))
     in
     trace t "send  %d->%d %s (%dB)" src dst (t.config.label_of msg) size;
-    Base_util.Heap.push t.queue (Sim_time.add t.time delay, Q_deliver { src; dst; msg; size })
+    Base_util.Heap.push t.queue (Sim_time.add t.time delay, Q_deliver { src; dst; msg; size });
+    note_queue_depth t
   end
 
 let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
@@ -161,6 +188,7 @@ let set_timer t ~node ~after ~tag ~payload =
   let id = t.next_timer_id in
   t.next_timer_id <- id + 1;
   Base_util.Heap.push t.queue (Sim_time.add t.time after, Q_timer { id; node; tag; payload });
+  note_queue_depth t;
   id
 
 let cancel_timer t id = Hashtbl.replace t.cancelled id ()
@@ -171,16 +199,20 @@ let dispatch t queued =
     match Hashtbl.find_opt t.nodes dst with
     | None -> ()
     | Some node ->
+      let per_label = label_counters_of t msg in
       if node.up then begin
         node.counters.recv_msgs <- node.counters.recv_msgs + 1;
         node.counters.recv_bytes <- node.counters.recv_bytes + size;
         t.totals.recv_msgs <- t.totals.recv_msgs + 1;
         t.totals.recv_bytes <- t.totals.recv_bytes + size;
+        per_label.recv_msgs <- per_label.recv_msgs + 1;
+        per_label.recv_bytes <- per_label.recv_bytes + size;
         trace t "deliv %d->%d %s" src dst (t.config.label_of msg);
         node.handler t (Deliver { src; msg })
       end
       else begin
         t.totals.dropped_msgs <- t.totals.dropped_msgs + 1;
+        per_label.dropped_msgs <- per_label.dropped_msgs + 1;
         trace t "lost  %d->%d %s (node down)" src dst (t.config.label_of msg)
       end
   end
@@ -225,5 +257,13 @@ let prng t = t.rng
 let node_counters t id = (get_node t id).counters
 
 let total_counters t = t.totals
+
+let label_counters t =
+  Hashtbl.fold (fun label c acc -> (label, c) :: acc) t.labels []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let queue_depth t = Base_util.Heap.length t.queue
+
+let max_queue_depth t = t.max_queue_depth
 
 let set_tracer t f = t.tracer <- Some f

@@ -106,6 +106,18 @@ val node_counters : 'msg t -> int -> counters
 
 val total_counters : 'msg t -> counters
 
+val label_counters : 'msg t -> (string * counters) list
+(** Traffic broken down by message type — the label with its parameter list
+    stripped (["PRE-PREPARE(v=0,n=2)"] counts under ["PRE-PREPARE"]).
+    Sorted by label; [dropped_msgs] includes messages lost to a down
+    destination. *)
+
+val queue_depth : 'msg t -> int
+(** Events (messages and timers) currently queued. *)
+
+val max_queue_depth : 'msg t -> int
+(** High-water mark of {!queue_depth} over the run. *)
+
 val set_tracer : 'msg t -> (Sim_time.t -> string -> unit) -> unit
 (** Install a callback receiving a line per network event (send, deliver,
     drop); used by the architecture-trace experiment. *)

@@ -9,15 +9,19 @@ type summary = {
   p99 : float;
 }
 
+let empty_summary =
+  { count = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0; p99 = 0.0 }
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let percentile sorted p =
   let n = Array.length sorted in
-  if n = 0 then invalid_arg "Stats.percentile: empty";
-  if n = 1 then sorted.(0)
+  if n = 0 then 0.0
+  else if n = 1 then sorted.(0)
   else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
     let rank = p *. float_of_int (n - 1) in
     let lo = int_of_float (Float.floor rank) in
     let hi = min (lo + 1) (n - 1) in
@@ -26,11 +30,14 @@ let percentile sorted p =
   end
 
 let summarize xs =
-  match xs with
-  | [] -> invalid_arg "Stats.summarize: empty list"
-  | _ ->
+  (* NaN would poison every aggregate and has no meaningful order; drop it
+     up front so the sort (Float.compare: a total order, -0 < +0, no
+     polymorphic-compare boxing) only sees comparable values. *)
+  match List.filter (fun x -> not (Float.is_nan x)) xs with
+  | [] -> empty_summary
+  | xs ->
     let arr = Array.of_list xs in
-    Array.sort compare arr;
+    Array.sort Float.compare arr;
     let n = Array.length arr in
     let m = mean xs in
     let var =
@@ -46,6 +53,8 @@ let summarize xs =
       p90 = percentile arr 0.9;
       p99 = percentile arr 0.99;
     }
+
+let summarize_opt xs = match summarize xs with { count = 0; _ } -> None | s -> Some s
 
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"

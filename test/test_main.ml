@@ -2,6 +2,8 @@ let () =
   Alcotest.run "base_repro"
     [
       ("substrate", Test_substrate.suite);
+      ("stats", Test_stats.suite);
+      ("obs", Test_obs.suite);
       ("state-transfer", Test_state_transfer.suite);
       ("nfs-model", Test_nfs_model.suite);
       ("oodb", Test_oodb.suite);
