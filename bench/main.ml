@@ -397,7 +397,7 @@ let e7_micro () =
       match Analyze.OLS.estimates ols with
       | Some (est :: _) -> Printf.printf "  %-30s %12.0f ns/op\n" name est
       | Some [] | None -> Printf.printf "  %-30s (no estimate)\n" name)
-    (List.sort compare rows);
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   Printf.printf
     "  copy-on-write checkpoints cost a small multiple of the dirty set;\n\
     \  the full-copy alternative pays for the whole state every time.\n"

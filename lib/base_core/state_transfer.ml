@@ -97,6 +97,10 @@ type stats = {
 
 let rejected s = s.heads_rejected + s.meta_rejected + s.objects_rejected
 
+(* Fetched objects install in ascending index order (indices are unique, so
+   the payload never participates in the comparison). *)
+let compare_obj (i, _) (j, _) = Int.compare i j
+
 type t = {
   repo : Objrepo.t;
   target_seq : int;
@@ -157,7 +161,7 @@ let maybe_complete t =
   then begin
     t.done_ <- true;
     let objs = Hashtbl.fold (fun i data acc -> (i, data) :: acc) t.fetched [] in
-    let objs = List.sort compare objs in
+    let objs = List.sort compare_obj objs in
     (* Invalidate stale local checkpoints before mutating the concrete
        state, then install the whole batch with one put_objs call. *)
     Objrepo.discard_below t.repo (t.target_seq + 1);

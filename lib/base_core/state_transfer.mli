@@ -65,6 +65,11 @@ type stats = {
   mutable objects_rejected : int;
 }
 
+val compare_obj : int * string -> int * string -> int
+(** Order in which fetched objects are handed to [put_objs]: ascending
+    object index.  Part of the module's determinism contract (the install
+    batch must not depend on hash-table iteration order). *)
+
 val rejected : stats -> int
 (** Total verification failures across heads, meta nodes and objects.  A
     fetch accumulating rejections is talking to a faulty responder; the

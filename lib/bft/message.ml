@@ -185,8 +185,9 @@ let dec_proof d =
   { pp_view; pp_seq; pp_digest; pp_requests; pp_nondet }
 
 let decode_body data =
-  let d = Xdr.decoder data in
-  let body =
+  match
+    let d = Xdr.decoder data in
+    let body =
     match Xdr.read_u32 d with
     | 0 -> Request (dec_request d)
     | 1 -> Pre_prepare (dec_pre_prepare d)
@@ -238,9 +239,12 @@ let decode_body data =
       let st_replica = dec_id d in
       Status { st_view; st_last_exec; st_h; st_replica }
     | n -> raise (Xdr.Decode_error (Printf.sprintf "bad message tag %d" n))
-  in
-  Xdr.expect_end d;
-  body
+    in
+    Xdr.expect_end d;
+    body
+  with
+  | body -> Ok body
+  | exception Xdr.Decode_error msg -> Error msg
 
 let seal chain ~sender ~n_principals body =
   let encoded = encode_body body in

@@ -93,10 +93,12 @@ val request_digest : request -> Digest.t
 
 val encode_body : body -> string
 
-val decode_body : string -> body
-(** Inverse of {!encode_body}.  Raises {!Base_codec.Xdr.Decode_error} on
-    malformed input.  The simulator passes message values directly, but the
-    wire format round-trips for real transports (property-tested). *)
+val decode_body : string -> (body, string) result
+(** Inverse of {!encode_body}.  Malformed input yields [Error msg] — decode
+    failures must never raise across a message boundary, since the bytes come
+    from untrusted (possibly Byzantine) senders.  The simulator passes message
+    values directly, but the wire format round-trips for real transports
+    (property-tested). *)
 
 val seal : Base_crypto.Auth.keychain -> sender:int -> n_principals:int -> body -> envelope
 (** Build an authenticated envelope. *)

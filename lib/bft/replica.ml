@@ -29,6 +29,7 @@ type stats = {
   mutable view_changes : int;
   mutable fetches : int;
   mutable rejected_macs : int;
+  mutable rejected_decode : int;
 }
 
 (* Protocol-phase instrumentation: latency histograms over the local
@@ -44,6 +45,8 @@ type obs = {
   m_total : Base_obs.Metrics.histogram;
   m_view_change : Base_obs.Metrics.histogram;
   m_cp_interval : Base_obs.Metrics.histogram;
+  c_reject_mac : Base_obs.Metrics.counter;
+  c_reject_decode : Base_obs.Metrics.counter;
   mutable vc_started : int64;  (* -1 when no view change is in progress *)
   mutable last_cp : int64;  (* timestamp of the previous checkpoint; -1 before the first *)
 }
@@ -58,6 +61,8 @@ let make_obs metrics =
     m_total = h "bft.phase.total_us";
     m_view_change = h "bft.view_change_us";
     m_cp_interval = h "bft.checkpoint_interval_us";
+    c_reject_mac = Base_obs.Metrics.counter metrics "bft.reject.mac";
+    c_reject_decode = Base_obs.Metrics.counter metrics "bft.reject.decode";
     vc_started = -1L;
     last_cp = -1L;
   }
@@ -170,6 +175,13 @@ let client_rec t c =
 let ordering_digest requests nondet =
   Digest.of_list (List.map (fun r -> Digest.raw (M.request_digest r)) requests @ [ nondet ])
 
+(* Client ids are unique within the table, so the id alone orders rows; the
+   full comparison keeps the digest well-defined on arbitrary row lists. *)
+let compare_client_row (c1, ts1, res1) (c2, ts2, res2) =
+  match Int.compare c1 c2 with
+  | 0 -> ( match Int64.compare ts1 ts2 with 0 -> String.compare res1 res2 | c -> c)
+  | c -> c
+
 let client_rows_of_table clients =
   Hashtbl.fold
     (fun c (r : client_rec) acc ->
@@ -177,7 +189,7 @@ let client_rows_of_table clients =
       | Some rep -> (c, r.last_ts, rep.result) :: acc
       | None -> acc)
     clients []
-  |> List.sort compare
+  |> List.sort compare_client_row
 
 let digest_of_rows rows =
   let e = Base_codec.Xdr.encoder () in
@@ -711,7 +723,7 @@ let prepared_proofs t =
         match entry.prepared_proof with Some p -> p :: acc | None -> acc
       else acc)
     t.entries []
-  |> List.sort (fun a b -> compare a.M.pp_seq b.M.pp_seq)
+  |> List.sort (fun a b -> Int.compare a.M.pp_seq b.M.pp_seq)
 
 let vc_table t view =
   match Hashtbl.find_opt t.vcs view with
@@ -1038,8 +1050,10 @@ let on_timer t ~tag ~payload =
   | _ -> ()
 
 let receive t (env : M.envelope) =
-  if not (M.verify t.keychain ~receiver:t.id env) then
-    t.stats.rejected_macs <- t.stats.rejected_macs + 1
+  if not (M.verify t.keychain ~receiver:t.id env) then begin
+    t.stats.rejected_macs <- t.stats.rejected_macs + 1;
+    Base_obs.Metrics.incr t.obs.c_reject_mac
+  end
   else begin
     match env.body with
     | M.Request r ->
@@ -1056,6 +1070,14 @@ let receive t (env : M.envelope) =
     | M.Status st -> handle_status t env.sender st
     | M.Reply _ -> ()
   end
+
+let receive_wire t ~sender ~macs raw =
+  match M.decode_body raw with
+  | Error _ ->
+    t.stats.rejected_decode <- t.stats.rejected_decode + 1;
+    Base_obs.Metrics.incr t.obs.c_reject_decode
+  | Ok body ->
+    receive t { M.sender; body; macs; size = String.length raw + (8 * Array.length macs) + 16 }
 
 let create ?metrics ~config ~id ~keychain ~net ~app () =
   let metrics =
@@ -1096,6 +1118,7 @@ let create ?metrics ~config ~id ~keychain ~net ~app () =
           view_changes = 0;
           fetches = 0;
           rejected_macs = 0;
+          rejected_decode = 0;
         };
       obs = make_obs metrics;
     }

@@ -59,6 +59,7 @@ type stats = {
   mutable view_changes : int;
   mutable fetches : int;
   mutable rejected_macs : int;
+  mutable rejected_decode : int;  (** wire bytes that failed to decode *)
 }
 
 type t
@@ -104,6 +105,13 @@ val behavior : t -> behavior
 val receive : t -> Message.envelope -> unit
 (** Handle one authenticated protocol message (invalid MACs are counted and
     dropped). *)
+
+val receive_wire : t -> sender:int -> macs:string array -> string -> unit
+(** Handle a raw encoded message body as it would arrive off the wire.
+    Malformed bytes are counted ([stats.rejected_decode], metrics counter
+    [bft.reject.decode]) and dropped — a Byzantine sender can never crash a
+    replica with garbage input.  Well-formed bodies go through {!receive}
+    and the usual MAC check. *)
 
 val on_timer : t -> tag:string -> payload:int -> unit
 

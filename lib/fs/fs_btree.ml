@@ -17,7 +17,7 @@ module Key = struct
   (* Case-insensitive order, case-sensitive tiebreak: the catalogue's
      on-disk collation. *)
   let compare (p1, n1) (p2, n2) =
-    match compare p1 p2 with
+    match Int.compare p1 p2 with
     | 0 -> (
       match String.compare (String.lowercase_ascii n1) (String.lowercase_ascii n2) with
       | 0 -> String.compare n1 n2
@@ -75,7 +75,7 @@ let alloc_id t =
     t.next_id <- id + 1;
     id
 
-let release_id t id = t.free_ids <- List.sort compare (id :: t.free_ids)
+let release_id t id = t.free_ids <- List.sort Int.compare (id :: t.free_ids)
 
 let attr_of t (n : node) =
   let size =

@@ -40,7 +40,8 @@ let fh_of t id = Printf.sprintf "F:%d:%d" id t.mount_gen
 
 let node_of_fh t fh =
   match String.split_on_char ':' fh with
-  | [ "F"; id; gen ] when int_of_string_opt gen = Some t.mount_gen -> (
+  | [ "F"; id; gen ] when Option.equal Int.equal (int_of_string_opt gen) (Some t.mount_gen)
+    -> (
     match int_of_string_opt id with
     | Some i -> ( match Hashtbl.find_opt t.nodes i with Some n -> Ok n | None -> Error Estale)
     | None -> Error Estale)

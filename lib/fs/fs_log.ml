@@ -41,7 +41,8 @@ let fh_of t id = Printf.sprintf "L:%d:%d" t.epoch id
 
 let id_of_fh t fh =
   match String.split_on_char ':' fh with
-  | [ "L"; epoch; id ] when int_of_string_opt epoch = Some t.epoch -> (
+  | [ "L"; epoch; id ] when Option.equal Int.equal (int_of_string_opt epoch) (Some t.epoch)
+    -> (
     match int_of_string_opt id with Some i -> Ok i | None -> Error Estale)
   | _ -> Error Estale
 
@@ -61,7 +62,7 @@ let append t v =
 let compact t =
   let survivors =
     Hashtbl.fold (fun _ off acc -> (off, Option.get t.log.(off)) :: acc) t.index []
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
   let fresh = Array.make (max 64 (2 * List.length survivors)) None in
   Hashtbl.reset t.index;

@@ -44,6 +44,17 @@ let find_free t =
 
 let aoid_of t i = { index = i; gen = t.slots.(i).gen }
 
+(* Canonical field order of the abstract encoding: by field name, then by
+   value/target so duplicate names (which the engine never produces) would
+   still encode identically on every replica. *)
+let compare_field (f1, v1) (f2, v2) =
+  match String.compare f1 f2 with 0 -> String.compare v1 v2 | c -> c
+
+let compare_ref (f1, (o1 : aoid)) (f2, (o2 : aoid)) =
+  match String.compare f1 f2 with
+  | 0 -> ( match Int.compare o1.index o2.index with 0 -> Int.compare o1.gen o2.gen | c -> c)
+  | c -> c
+
 (* Abstract view of one slot: fields sorted, refs sorted and translated to
    abstract oids. *)
 let abstract_value t i =
@@ -51,14 +62,16 @@ let abstract_value t i =
   match Oodb.get t.db token with
   | None -> failwith "oodb wrapper: token vanished"
   | Some r ->
-    let fields = List.sort compare r.Oodb.fields in
+    let fields = List.sort compare_field r.Oodb.fields in
     let refs =
       r.Oodb.refs
       |> List.filter_map (fun (f, target) ->
              match Hashtbl.find_opt t.token2slot target with
-             | Some ti when t.slots.(ti).token = Some target -> Some (f, aoid_of t ti)
+             | Some ti
+               when Option.equal String.equal t.slots.(ti).token (Some target) ->
+               Some (f, aoid_of t ti)
              | Some _ | None -> None (* dangling: target was deleted *))
-      |> List.sort compare
+      |> List.sort compare_ref
     in
     (fields, refs)
 

@@ -16,7 +16,7 @@ let is_empty t = t.size = 0
 (* Order by user comparator, then by insertion sequence for determinism. *)
 let entry_cmp t a b =
   let c = t.cmp a.value b.value in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let grow t =
   let cap = Array.length t.data in

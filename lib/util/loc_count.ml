@@ -66,7 +66,7 @@ let count_file path = count_string (read_file path)
 
 let rec count_dir ?(ext = [ ".ml"; ".mli" ]) dir =
   let entries = try Sys.readdir dir with Sys_error _ -> [||] in
-  Array.sort compare entries;
+  Array.sort String.compare entries;
   Array.fold_left
     (fun acc name ->
       let path = Filename.concat dir name in

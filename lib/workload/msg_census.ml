@@ -42,7 +42,8 @@ let install t engine =
 
 let rows t =
   Hashtbl.fold (fun label count acc -> (label, count) :: acc) t.counts []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (la, a) (lb, b) ->
+         match Int.compare b a with 0 -> String.compare la lb | c -> c)
 
 let total t = t.sends
 

@@ -84,7 +84,7 @@ let rec refresh_subtree t i =
   match t.server.S.lookup ~dir:(location_fh t e) ~name:e.name with
   | Error _ -> bug "refresh: object %d vanished from %d/%s" i e.parent e.name
   | Ok (fh, _) ->
-    if e.fh <> Some fh then set_fh t i fh;
+    if not (Option.equal String.equal e.fh (Some fh)) then set_fh t i fh;
     if e.ftype = Dir then refresh_children t i
 
 and refresh_children t i =
@@ -101,7 +101,7 @@ and refresh_children t i =
             | None -> bug "refresh: unknown object %s" name
             | Some ci ->
               let ce = t.entries.(ci) in
-              if ce.fh <> Some cfh then set_fh t ci cfh;
+              if not (Option.equal String.equal ce.fh (Some cfh)) then set_fh t ci cfh;
               ce.parent <- i;
               ce.name <- name;
               if ce.ftype = Dir then refresh_children t ci)

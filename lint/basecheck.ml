@@ -1,0 +1,114 @@
+(* CLI driver for the basecheck lint.
+
+   Usage: basecheck [--root DIR] [--allowlist FILE] [--update] DIR...
+
+   Scans every .ml under the given directories (relative to --root),
+   prints non-allowlisted findings as "file:line: [RULE] message" and
+   exits 1 if there are any.  --update regenerates the allowlist from the
+   current findings (sorted by file then rule, justifications preserved)
+   so review diffs are stable. *)
+
+module Checks = Basecheck_lib.Checks
+
+let usage = "usage: basecheck [--root DIR] [--allowlist FILE] [--update] DIR..."
+
+let () =
+  let root = ref "." in
+  let allowlist_path = ref "lint/allowlist.sexp" in
+  let update = ref false in
+  let dirs = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--root" :: d :: rest ->
+      root := d;
+      parse_args rest
+    | "--allowlist" :: f :: rest ->
+      allowlist_path := f;
+      parse_args rest
+    | "--update" :: rest ->
+      update := true;
+      parse_args rest
+    | ("--root" | "--allowlist") :: [] | "--help" :: _ ->
+      prerr_endline usage;
+      exit 2
+    | d :: rest ->
+      dirs := d :: !dirs;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let dirs = List.rev !dirs in
+  if dirs = [] then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let fail msg =
+    Printf.eprintf "basecheck: %s\n" msg;
+    exit 2
+  in
+  let files = List.concat_map (Checks.ml_files ~root:!root) dirs in
+  let findings =
+    List.concat_map
+      (fun rel ->
+        match Checks.check_file ~rel (Filename.concat !root rel) with
+        | Ok fs -> fs
+        | Error e -> fail e)
+      files
+  in
+  let findings = List.sort Checks.compare_finding findings in
+  if !update then begin
+    let old =
+      match Checks.load_allowlist !allowlist_path with Ok ws -> ws | Error e -> fail e
+    in
+    let justification file rule =
+      match
+        List.find_opt
+          (fun (w : Checks.waiver) ->
+            String.equal w.w_file file && w.w_rule = rule)
+          old
+      with
+      | Some w -> w.w_justification
+      | None -> "TODO: justify or fix (added by --update)"
+    in
+    let waivers =
+      List.map
+        (fun (f : Checks.finding) ->
+          {
+            Checks.w_file = f.file;
+            w_rule = f.rule;
+            w_justification = justification f.file f.rule;
+          })
+        findings
+    in
+    Checks.save_allowlist !allowlist_path waivers;
+    Printf.printf "basecheck: wrote %s (%d entries)\n" !allowlist_path
+      (List.length (List.sort_uniq Checks.compare_waiver waivers))
+  end
+  else begin
+    let waivers =
+      match Checks.load_allowlist !allowlist_path with Ok ws -> ws | Error e -> fail e
+    in
+    let active = List.filter (fun f -> not (Checks.waived waivers f)) findings in
+    List.iter (fun f -> print_endline (Checks.pp_finding f)) active;
+    (* Stale waivers are reported (hygiene) but do not fail the build. *)
+    List.iter
+      (fun (w : Checks.waiver) ->
+        if
+          not
+            (List.exists
+               (fun (f : Checks.finding) ->
+                 String.equal f.file w.w_file && f.rule = w.w_rule)
+               findings)
+        then
+          Printf.eprintf "basecheck: stale allowlist entry (%s, %s) — no findings\n"
+            w.w_file
+            (Checks.rule_name w.w_rule))
+      waivers;
+    if active <> [] then begin
+      Printf.eprintf "basecheck: %d finding(s) in %d file(s) scanned\n"
+        (List.length active) (List.length files);
+      exit 1
+    end
+    else
+      Printf.eprintf "basecheck: clean (%d files scanned, %d waiver(s))\n"
+        (List.length files) (List.length waivers)
+  end

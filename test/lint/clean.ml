@@ -1,0 +1,10 @@
+(* Fixture: determinism-safe idioms that basecheck must NOT flag. *)
+let compare_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> String.compare b1 b2 | c -> c
+
+(* Hash-order fold is fine when the same item sorts before emitting. *)
+let rows tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare_pair
+
+let clamp lo hi v = min hi (max lo v)
+let is_unset o = o = None

@@ -1,0 +1,5 @@
+(* Fixture: every line here trips D1 (polymorphic comparison). *)
+let sorted xs = List.sort compare xs
+let h x = Hashtbl.hash x
+let eq a = a = (1, 2)
+let smaller = min

@@ -1,0 +1,4 @@
+(* Fixture: every line here trips D2 (ambient time / randomness). *)
+let now () = Unix.gettimeofday ()
+let roll () = Random.int 10
+let cpu () = Sys.time ()

@@ -1,0 +1,3 @@
+(* Fixture: hash-order iteration with no sort in the same item trips D3. *)
+let dump tbl = Hashtbl.iter (fun k v -> print_string (k ^ v)) tbl
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

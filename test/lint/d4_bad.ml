@@ -1,0 +1,4 @@
+(* Fixture: every line here trips D4 (process escape hatches in lib code). *)
+let save x = Marshal.to_string x []
+let cast x = Obj.magic x
+let die () = exit 1

@@ -1,0 +1,7 @@
+(* Fixture: abort-on-bad-input in a Byzantine-facing path trips E1. *)
+let decode = function
+  | 0 -> ()
+  | 1 -> invalid_arg "bad tag"
+  | _ -> failwith "unreachable"
+
+let check b = if not b then assert false

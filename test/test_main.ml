@@ -10,6 +10,9 @@ let () =
       ("bft", Test_bft.suite);
       ("client", Test_client.suite);
       ("bft-wire", Test_bft_wire.suite);
+      ("byzantine-input", Test_byzantine_input.suite);
+      ("determinism", Test_determinism.suite);
+      ("lint", Test_lint.suite);
       ("batching", Test_batching.suite);
       ("stack", Test_stack.suite);
       ("conformance", Test_conformance.suite);
