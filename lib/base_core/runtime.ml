@@ -1,6 +1,7 @@
 module Digest = Base_crypto.Digest_t
 module Engine = Base_sim.Engine
 module Sim_time = Base_sim.Sim_time
+module Faultplan = Base_sim.Faultplan
 module Types = Base_bft.Types
 module Message = Base_bft.Message
 module Replica = Base_bft.Replica
@@ -10,6 +11,14 @@ module Auth = Base_crypto.Auth
 type msg =
   | Bft of Message.envelope
   | St of { from : int; body : State_transfer.msg }
+  | Raw of { from : int; macs : string array; bytes : string }
+
+exception Stalled of string
+
+(* Broken internal wiring (a node record referenced before construction
+   finishes).  Unreachable by design and never message-triggered; kept as a
+   dedicated exception so Byzantine-facing paths stay free of [assert]. *)
+exception Internal_error of string
 
 type recovery_stats = {
   mutable recoveries : int;
@@ -44,6 +53,16 @@ type replica_node = {
       (* the episode currently waiting for its reboot/fetch milestones *)
 }
 
+(* An active Byzantine-primary attack window: while [atk_until] is in the
+   future, pre-prepares sent by [atk_node] are muted with probability
+   [atk_mute_p] and the surviving ones delayed by [atk_delay_us]. *)
+type pp_attack = {
+  atk_node : int;
+  atk_mute_p : float;
+  atk_delay_us : int;
+  atk_until : int64;
+}
+
 type t = {
   engine : msg Engine.t;
   config : Types.config;
@@ -60,13 +79,20 @@ type t = {
      they survive the fetchers (which are discarded on completion). *)
   st_totals : State_transfer.stats;
   mutable timelines : recovery_timeline list;  (* newest first *)
+  mutable plan : Faultplan.event array;  (* scheduled chaos, indexed by timer payload *)
+  mutable pp_attack : pp_attack option;
 }
 
-let msg_size = function Bft env -> env.Message.size | St { body; _ } -> State_transfer.size body
+let msg_size = function
+  | Bft env -> env.Message.size
+  | St { body; _ } -> State_transfer.size body
+  | Raw { bytes; macs; _ } ->
+    Array.fold_left (fun acc m -> acc + String.length m) (String.length bytes) macs
 
 let msg_label = function
   | Bft env -> Message.label env.Message.body
   | St { body; _ } -> State_transfer.label body
+  | Raw _ -> "RAW"
 
 let engine t = t.engine
 
@@ -122,6 +148,16 @@ let close_timeline t node =
       ]
   | None -> ()
 
+(* Abandon the current fetch and restart against the freshest certified
+   checkpoint — the escape hatch for a garbage-collected target, a target
+   digest we can no longer verify anything against, or an inverse
+   abstraction that failed to reproduce the certified state. *)
+let retarget_fetch t node ~reason =
+  node.fetcher <- None;
+  Replica.abort_fetch node.replica;
+  trace_event t "st.retarget" [ ("reason", reason); ("rid", string_of_int node.rid) ];
+  Replica.initiate_fetch node.replica
+
 (* Forward declaration hack: replica creation needs an app record whose
    closures refer to the node being created. *)
 let start_fetch t node ~seq ~digest =
@@ -133,12 +169,20 @@ let start_fetch t node ~seq ~digest =
         (* Register the transferred checkpoint so this replica can serve it,
            then resume the protocol. *)
         let root = Objrepo.take_checkpoint node.repo ~seq ~client_rows in
-        if not (Digest.equal root app_root) then
-          failwith
-            (Printf.sprintf "replica %d: inverse abstraction diverged after state transfer"
-               node.rid);
-        close_timeline t node;
-        Replica.fetch_complete node.replica ~seq ~app_digest:app_root ~client_rows)
+        if not (Digest.equal root app_root) then begin
+          (* The inverse abstraction produced a state whose digest does not
+             match the certified checkpoint: the local implementation is
+             faulty in a way reinstalation did not mask.  Degrade gracefully —
+             count it and re-run the transfer — instead of crashing the
+             replica (a crash here would turn one faulty node into a
+             liveness hit for the group). *)
+          Base_obs.Metrics.incr (Base_obs.Metrics.counter t.metrics "st.inverse_divergence");
+          retarget_fetch t node ~reason:"inverse-divergence"
+        end
+        else begin
+          close_timeline t node;
+          Replica.fetch_complete node.replica ~seq ~app_digest:app_root ~client_rows
+        end)
   in
   if State_transfer.finished fetcher then ()
   else begin
@@ -148,15 +192,6 @@ let start_fetch t node ~seq ~digest =
       (Engine.set_timer t.engine ~node:node.rid ~after:(Sim_time.of_us st_retry_period_us)
          ~tag:"st_retry" ~payload:0)
   end
-
-(* Abandon the current fetch and restart against the freshest certified
-   checkpoint — the escape hatch for both a garbage-collected target and a
-   target digest we can no longer verify anything against. *)
-let retarget_fetch t node ~reason =
-  node.fetcher <- None;
-  Replica.abort_fetch node.replica;
-  trace_event t "st.retarget" [ ("reason", reason); ("rid", string_of_int node.rid) ];
-  Replica.initiate_fetch node.replica
 
 let handle_st t node ~from body =
   match body with
@@ -257,8 +292,101 @@ let recover_now ?reboot_us t rid =
          ~tag:"reboot_done" ~payload:rid)
   end
 
+(* --- chaos: fault-plan execution and the Byzantine-primary adversary ------- *)
+
+let replica_behavior = function
+  | Faultplan.B_honest -> Replica.Honest
+  | Faultplan.B_mute -> Replica.Mute
+  | Faultplan.B_lie -> Replica.Lie_in_replies
+  | Faultplan.B_equivocate -> Replica.Equivocate
+
+let link_attr src dst =
+  let e v = if v = -1 then "*" else string_of_int v in
+  Printf.sprintf "%s->%s" (e src) (e dst)
+
+let exec_fault t (ev : Faultplan.event) =
+  let until for_us = Sim_time.add (Engine.now t.engine) (Sim_time.of_us for_us) in
+  match ev.Faultplan.action with
+  | Faultplan.Crash n ->
+    Engine.set_node_up t.engine n false;
+    trace_event t "fault.crash" [ ("rid", string_of_int n) ]
+  | Faultplan.Reboot n ->
+    Engine.set_node_up t.engine n true;
+    (* A rebooted replica lost its pending timers with the crash; re-arm. *)
+    if n < t.config.Types.n then Replica.on_reboot t.replicas.(n).replica;
+    trace_event t "fault.reboot" [ ("rid", string_of_int n) ]
+  | Faultplan.Partition (a, b) ->
+    Engine.partition t.engine a b;
+    trace_event t "fault.partition"
+      [
+        ("a", String.concat "," (List.map string_of_int a));
+        ("b", String.concat "," (List.map string_of_int b));
+      ]
+  | Faultplan.Heal ->
+    Engine.heal t.engine;
+    trace_event t "fault.heal" []
+  | Faultplan.Delay_link { src; dst; extra_us; for_us } ->
+    Engine.fault_delay t.engine ~src ~dst ~extra_us ~until:(until for_us);
+    trace_event t "fault.delay"
+      [ ("extra_us", string_of_int extra_us); ("link", link_attr src dst) ]
+  | Faultplan.Drop_link { src; dst; p; for_us } ->
+    Engine.fault_drop t.engine ~src ~dst ~p ~until:(until for_us);
+    trace_event t "fault.drop" [ ("link", link_attr src dst); ("p", Printf.sprintf "%g" p) ]
+  | Faultplan.Corrupt_link { src; dst; p; for_us } ->
+    Engine.fault_corrupt t.engine ~src ~dst ~p ~until:(until for_us);
+    trace_event t "fault.corrupt"
+      [ ("link", link_attr src dst); ("p", Printf.sprintf "%g" p) ]
+  | Faultplan.Set_behavior { node; behavior } ->
+    Replica.set_behavior t.replicas.(node).replica (replica_behavior behavior);
+    trace_event t "fault.behavior"
+      [ ("behavior", Faultplan.behavior_name behavior); ("rid", string_of_int node) ]
+  | Faultplan.Attack_pre_prepare { node; mute_p; delay_us; for_us } ->
+    t.pp_attack <-
+      Some { atk_node = node; atk_mute_p = mute_p; atk_delay_us = delay_us; atk_until = until for_us };
+    trace_event t "fault.attack_preprepare"
+      [
+        ("delay_us", string_of_int delay_us);
+        ("mute", Printf.sprintf "%g" mute_p);
+        ("rid", string_of_int node);
+      ]
+
+let apply_faultplan t plan =
+  let base = Array.length t.plan in
+  t.plan <- Array.append t.plan (Array.of_list plan);
+  List.iteri
+    (fun i (ev : Faultplan.event) ->
+      ignore
+        (Engine.set_timer t.engine ~node:t.orchestrator
+           ~after:(Sim_time.of_us ev.Faultplan.at_us) ~tag:"fault" ~payload:(base + i)))
+    plan
+
+(* The adversary's view of one outgoing replica message: [None] means the
+   attacked primary mutes it, [Some extra_us] lets it through with that much
+   added delay.  Muting draws per destination, so a broadcast can reach an
+   arbitrary subset of the backups — omission-style equivocation. *)
+let pp_attack_extra t rid (env : Message.envelope) =
+  match t.pp_attack with
+  | Some atk
+    when atk.atk_node = rid
+         && Sim_time.compare (Engine.now t.engine) atk.atk_until < 0
+         && (match env.Message.body with Message.Pre_prepare _ -> true | _ -> false) ->
+    if
+      atk.atk_mute_p > 0.0
+      && Base_util.Prng.bernoulli (Engine.prng t.engine) atk.atk_mute_p
+    then begin
+      Base_obs.Metrics.incr (Base_obs.Metrics.counter t.metrics "adversary.pp_muted");
+      None
+    end
+    else begin
+      if atk.atk_delay_us > 0 then
+        Base_obs.Metrics.incr (Base_obs.Metrics.counter t.metrics "adversary.pp_delayed");
+      Some atk.atk_delay_us
+    end
+  | _ -> Some 0
+
 let on_orchestrator_timer t ~tag ~payload =
   match tag with
+  | "fault" -> if payload >= 0 && payload < Array.length t.plan then exec_fault t t.plan.(payload)
   | "watchdog" ->
     if t.recovery_on then begin
       recover_now t payload;
@@ -302,8 +430,37 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
   in
   let engine = Engine.create engine_config in
   (* One registry for the whole system: replica histograms aggregate across
-     the group, which is what the benchmark tables report. *)
+     the group, which is what the benchmark tables report.  The engine
+     exports its live queue-depth / per-node inflight gauges into the same
+     registry. *)
   let metrics = Base_obs.Metrics.create () in
+  Engine.attach_metrics engine metrics;
+  (* In-flight corruption model: flip one byte of the encoded protocol body
+     and deliver it as raw wire bytes, so it exercises the replica's
+     decode-and-MAC rejection path exactly like a Byzantine network would.
+     State-transfer messages (simulator values, no wire codec) are mangled
+     beyond recognition instead: the corruptor declines and the engine drops
+     them. *)
+  Engine.set_corruptor engine (fun rng msg ->
+      match msg with
+      | Bft env ->
+        let body = Message.encode_body env.Message.body in
+        let len = String.length body in
+        if len = 0 then None
+        else begin
+          let bytes = Bytes.of_string body in
+          let i = Base_util.Prng.int rng len in
+          let flip = 1 + Base_util.Prng.int rng 255 in
+          Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor flip));
+          Some
+            (Raw
+               {
+                 from = env.Message.sender;
+                 macs = env.Message.macs;
+                 bytes = Bytes.to_string bytes;
+               })
+        end
+      | St _ | Raw _ -> None);
   let trace = Base_obs.Trace.create () in
   let chains =
     Auth.create ~seed:(Int64.add engine_config.Engine.seed 7919L)
@@ -312,10 +469,23 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
   let n = config.Types.n in
   let replica_cells = Array.make n None in
   let t_cell = ref None in
-  let the () = match !t_cell with Some t -> t | None -> assert false in
+  let the () =
+    match !t_cell with
+    | Some t -> t
+    | None -> raise (Internal_error "Runtime: node callback ran before wiring finished")
+  in
   let replica_net rid =
     {
-      Replica.send = (fun ~dst env -> Engine.send engine ~src:rid ~dst (Bft env));
+      Replica.send =
+        (fun ~dst env ->
+          match !t_cell with
+          (* Sends during construction (the seq-0 checkpoint) predate any
+             adversary; the plain path also keeps them safe. *)
+          | None -> Engine.send engine ~src:rid ~dst (Bft env)
+          | Some t -> (
+            match pp_attack_extra t rid env with
+            | None -> ()  (* the adversary muted this pre-prepare *)
+            | Some extra_us -> Engine.send engine ~extra_us ~src:rid ~dst (Bft env)));
       set_timer =
         (fun ~after_us ~tag ~payload ->
           Engine.set_timer engine ~node:rid ~after:(Sim_time.of_us after_us) ~tag ~payload);
@@ -327,7 +497,9 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
     let wrapper = make_wrapper rid in
     let repo = Objrepo.create ~wrapper ~branching in
     let node_lazy () =
-      match replica_cells.(rid) with Some node -> node | None -> assert false
+      match replica_cells.(rid) with
+      | Some node -> node
+      | None -> raise (Internal_error "Runtime: replica node referenced before construction")
     in
     let app =
       {
@@ -427,6 +599,8 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
           objects_rejected = 0;
         };
       timelines = [];
+      plan = [||];
+      pp_attack = None;
     }
   in
   t_cell := Some t;
@@ -441,6 +615,11 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
           | Engine.Deliver { src; msg = St { from; body } } ->
             ignore src;
             handle_st t node ~from body
+          | Engine.Deliver { src; msg = Raw { from; macs; bytes } } ->
+            (* Corrupted-in-flight bytes: feed the wire-decode path, which
+               counts and drops them (bft.reject.decode / bft.reject.mac). *)
+            ignore src;
+            Replica.receive_wire node.replica ~sender:from ~macs bytes
           | Engine.Timer { tag = "st_retry"; _ } -> (
             match node.fetcher with
             | Some fetcher when not (State_transfer.finished fetcher) ->
@@ -469,7 +648,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       Engine.add_node engine ~id:(Client.id c) (fun _engine ev ->
           match ev with
           | Engine.Deliver { msg = Bft env; _ } -> Client.receive c env
-          | Engine.Deliver { msg = St _; _ } -> ()
+          | Engine.Deliver { msg = St _ | Raw _; _ } -> ()
           | Engine.Timer { tag; payload } -> Client.on_timer c ~tag ~payload))
     clients;
   Engine.add_node engine ~id:orchestrator (fun _engine ev ->
@@ -483,34 +662,56 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
 let invoke t ~client:idx ?read_only ~operation k =
   Client.invoke t.clients.(idx) ?read_only ~operation k
 
-let run_until_idle ?(max_events = 5_000_000) t =
+(* Step the simulation until [done_ ()] holds; [Error] reports a stall
+   (quiescent queue or exhausted budget) instead of raising, so chaos
+   experiments can treat a liveness loss as data. *)
+let step_until t ~what ~max_events done_ =
   let events = ref 0 in
-  let busy () = Array.exists (fun c -> Client.outstanding c > 0) t.clients in
-  while busy () && !events < max_events do
-    if not (Engine.step t.engine) then failwith "Runtime.run_until_idle: simulation went quiescent";
-    incr events
+  let quiescent = ref false in
+  while (not (done_ ())) && (not !quiescent) && !events < max_events do
+    if Engine.step t.engine then incr events else quiescent := true
   done;
-  if busy () then failwith "Runtime.run_until_idle: event budget exceeded"
+  if done_ () then Ok ()
+  else if !quiescent then Error (Printf.sprintf "Runtime.%s: simulation went quiescent" what)
+  else Error (Printf.sprintf "Runtime.%s: event budget exceeded" what)
 
-let invoke_sync t ~client:idx ?read_only ~operation () =
+let try_run_until_idle ?(max_events = 5_000_000) t =
+  step_until t ~what:"run_until_idle" ~max_events (fun () ->
+      not (Array.exists (fun c -> Client.outstanding c > 0) t.clients))
+
+let run_until_idle ?max_events t =
+  match try_run_until_idle ?max_events t with Ok () -> () | Error e -> raise (Stalled e)
+
+let try_invoke_sync ?(max_events = 5_000_000) t ~client:idx ?read_only ~operation () =
   let result = ref None in
   invoke t ~client:idx ?read_only ~operation (fun r -> result := Some r);
-  let events = ref 0 in
-  while !result = None && !events < 5_000_000 do
-    if not (Engine.step t.engine) then failwith "Runtime.invoke_sync: simulation went quiescent";
-    incr events
-  done;
-  match !result with
-  | Some r -> r
-  | None -> failwith "Runtime.invoke_sync: event budget exceeded"
+  match
+    step_until t ~what:"invoke_sync" ~max_events (fun () ->
+        match !result with Some _ -> true | None -> false)
+  with
+  | Error e -> Error e
+  | Ok () -> (
+    match !result with
+    | Some r -> Ok r
+    | None -> Error "Runtime.invoke_sync: no result")
+
+let invoke_sync t ~client ?read_only ~operation () =
+  match try_invoke_sync t ~client ?read_only ~operation () with
+  | Ok r -> r
+  | Error e -> raise (Stalled e)
 
 let set_behavior t rid b = Replica.set_behavior t.replicas.(rid).replica b
 
 (* --- observability export --------------------------------------------------- *)
 
+let enable_net_trace t =
+  Engine.set_tracer t.engine (fun ts line ->
+      Base_obs.Trace.event t.trace ~ts ~name:"net" [ ("line", line) ])
+
 let counters_json (c : Engine.counters) =
   Base_obs.Json.obj
     [
+      ("corrupted_msgs", Base_obs.Json.Int c.Engine.corrupted_msgs);
       ("dropped_msgs", Base_obs.Json.Int c.Engine.dropped_msgs);
       ("recv_bytes", Base_obs.Json.Int c.Engine.recv_bytes);
       ("recv_msgs", Base_obs.Json.Int c.Engine.recv_msgs);

@@ -14,6 +14,19 @@ module Digest = Base_crypto.Digest_t
 type msg =
   | Bft of Base_bft.Message.envelope
   | St of { from : int; body : State_transfer.msg }
+  | Raw of { from : int; macs : string array; bytes : string }
+      (** a protocol message corrupted in flight, delivered as wire bytes;
+          replicas feed it to {!Base_bft.Replica.receive_wire}, which counts
+          and rejects it *)
+
+exception Stalled of string
+(** The simulation could not make the requested progress: the event queue
+    went quiescent or the event budget ran out.  Raised by the non-[try_]
+    drivers only; never from a message handler. *)
+
+exception Internal_error of string
+(** Broken runtime wiring (a node callback ran before construction
+    finished).  Unreachable by design. *)
 
 type recovery_stats = {
   mutable recoveries : int;
@@ -84,11 +97,25 @@ val invoke :
 
 val invoke_sync : t -> client:int -> ?read_only:bool -> operation:string -> unit -> string
 (** Run the simulation until the operation completes and return its result.
-    Raises [Failure] if the simulation goes quiescent or exceeds its event
+    Raises {!Stalled} if the simulation goes quiescent or exceeds its event
     budget first. *)
 
+val try_invoke_sync :
+  ?max_events:int ->
+  t ->
+  client:int ->
+  ?read_only:bool ->
+  operation:string ->
+  unit ->
+  (string, string) result
+(** Like {!invoke_sync} but a stall is data, not an exception — the form
+    chaos experiments use to count liveness losses. *)
+
 val run_until_idle : ?max_events:int -> t -> unit
-(** Run until all clients have no outstanding operations. *)
+(** Run until all clients have no outstanding operations.  Raises {!Stalled}
+    on a stall. *)
+
+val try_run_until_idle : ?max_events:int -> t -> (unit, string) result
 
 val now : t -> Base_sim.Sim_time.t
 
@@ -109,6 +136,31 @@ val disable_proactive_recovery : t -> unit
 
 val recover_now : ?reboot_us:int -> t -> int -> unit
 (** Force one replica through the recovery procedure immediately. *)
+
+(** {1 Chaos}
+
+    Scheduled fault injection, driven by a declarative
+    {!Base_sim.Faultplan}.  Every fault draws its randomness from the
+    engine's seeded PRNG, so a chaos run is as reproducible as a healthy
+    one. *)
+
+val apply_faultplan : t -> Base_sim.Faultplan.t -> unit
+(** Schedule every event of the plan, with [at_us] offsets measured from
+    the moment of this call.  Crash/reboot map to node up/down (plus timer
+    re-arming on reboot), partitions and link faults map to the engine's
+    scheduled windows, [behavior] maps onto
+    {!Base_bft.Replica.set_behavior}, and [attack-preprepare] arms the
+    Byzantine-primary adversary: while its window is open, pre-prepares
+    sent by the attacked node are muted per-destination with the given
+    probability (omission equivocation) and survivors are delayed.  Muted
+    and delayed pre-prepares are counted as [adversary.pp_muted] /
+    [adversary.pp_delayed]; corrupted deliveries as
+    [engine.corrupted_msgs]. *)
+
+val enable_net_trace : t -> unit
+(** Mirror the engine's free-form tracer lines into the structured
+    {!trace} ring as ["net"] events — one shared sink for both trace
+    streams.  Composes with any other tracer registered on the engine. *)
 
 (** {1 Observability}
 

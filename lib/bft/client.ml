@@ -152,8 +152,11 @@ let on_timer t ~tag ~payload =
     end
     else begin
       send_to_all t (M.Request p.request);
+      (* Exponential backoff, capped at 16x: during a network partition or a
+         view change the client must keep probing without flooding the
+         recovering group. *)
       p.timer <-
-        t.net.set_timer ~after_us:(t.config.client_timeout_us * (1 + min p.attempts 4))
+        t.net.set_timer ~after_us:(t.config.client_timeout_us * (1 lsl min p.attempts 4))
           ~tag:"client"
           ~payload:(Int64.to_int p.request.timestamp)
     end

@@ -166,7 +166,14 @@ let dec_request d =
   let read_only = Xdr.read_bool d in
   { client; timestamp; operation; read_only }
 
-let dec_digest d = Digest.of_raw (Xdr.read_opaque d)
+(* A corrupted length prefix can yield an opaque of any size; a digest-width
+   violation must surface as a decode error, not Digest_t's Invalid_argument
+   (message corruption is within the fault model, broken callers are not). *)
+let dec_digest d =
+  let raw = Xdr.read_opaque d in
+  if String.length raw <> 32 then
+    raise (Xdr.Decode_error (Printf.sprintf "digest: expected 32 bytes, got %d" (String.length raw)));
+  Digest.of_raw raw
 
 let dec_pre_prepare d =
   let view = Xdr.read_u32 d in

@@ -47,6 +47,7 @@ type obs = {
   m_cp_interval : Base_obs.Metrics.histogram;
   c_reject_mac : Base_obs.Metrics.counter;
   c_reject_decode : Base_obs.Metrics.counter;
+  c_equivocation : Base_obs.Metrics.counter;
   mutable vc_started : int64;  (* -1 when no view change is in progress *)
   mutable last_cp : int64;  (* timestamp of the previous checkpoint; -1 before the first *)
 }
@@ -63,6 +64,7 @@ let make_obs metrics =
     m_cp_interval = h "bft.checkpoint_interval_us";
     c_reject_mac = Base_obs.Metrics.counter metrics "bft.reject.mac";
     c_reject_decode = Base_obs.Metrics.counter metrics "bft.reject.decode";
+    c_equivocation = Base_obs.Metrics.counter metrics "bft.equivocation_detected";
     vc_started = -1L;
     last_cp = -1L;
   }
@@ -167,6 +169,14 @@ let client_rec t c =
     Hashtbl.replace t.clients c r;
     r
 
+(* Deterministic traversal of an int-keyed table: snapshot the bindings and
+   sort by key.  Every table scan below goes through this, so certificate
+   counting, retransmission order, and wire-visible new-view summaries are
+   independent of hash-table iteration order. *)
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 (* --- digests ------------------------------------------------------------ *)
 
 (* The ordering digest binds the whole request batch *and* the agreed
@@ -183,12 +193,12 @@ let compare_client_row (c1, ts1, res1) (c2, ts2, res2) =
   | c -> c
 
 let client_rows_of_table clients =
-  Hashtbl.fold
-    (fun c (r : client_rec) acc ->
+  List.filter_map
+    (fun (c, (r : client_rec)) ->
       match r.last_reply with
-      | Some rep -> (c, r.last_ts, rep.result) :: acc
-      | None -> acc)
-    clients []
+      | Some rep -> Some (c, r.last_ts, rep.result)
+      | None -> None)
+    (sorted_bindings clients)
   |> List.sort compare_client_row
 
 let digest_of_rows rows =
@@ -237,7 +247,7 @@ let send_reply t (reply : M.reply) =
 (* --- timers ------------------------------------------------------------- *)
 
 let has_pending t =
-  Hashtbl.fold (fun _ r acc -> acc || r.pending <> None) t.clients false
+  List.exists (fun (_, r) -> r.pending <> None) (sorted_bindings t.clients)
 
 let cancel_vc_timer t =
   match t.vc_timer with
@@ -266,15 +276,17 @@ let cp_table t seq =
     tbl
 
 let count_matching tbl digest =
-  Hashtbl.fold (fun _ d acc -> if Digest.equal d digest then acc + 1 else acc) tbl 0
+  List.fold_left
+    (fun acc (_, d) -> if Digest.equal d digest then acc + 1 else acc)
+    0 (sorted_bindings tbl)
 
 let discard_log_below t seq =
-  let stale = Hashtbl.fold (fun s _ acc -> if s <= seq then s :: acc else acc) t.entries [] in
-  List.iter (Hashtbl.remove t.entries) stale;
-  let stale_cp = Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.cp_msgs [] in
-  List.iter (Hashtbl.remove t.cp_msgs) stale_cp;
-  let stale_own = Hashtbl.fold (fun s _ acc -> if s < seq then s :: acc else acc) t.own_cps [] in
-  List.iter (Hashtbl.remove t.own_cps) stale_own
+  let stale_keys tbl below =
+    List.filter_map (fun (s, _) -> if s < below then Some s else None) (sorted_bindings tbl)
+  in
+  List.iter (Hashtbl.remove t.entries) (stale_keys t.entries (seq + 1));
+  List.iter (Hashtbl.remove t.cp_msgs) (stale_keys t.cp_msgs seq);
+  List.iter (Hashtbl.remove t.own_cps) (stale_keys t.own_cps seq)
 
 let rec make_stable t seq digest =
   if seq > t.h then begin
@@ -372,9 +384,9 @@ and maybe_prepared t seq entry =
   | Some pp ->
     let primary = Types.primary t.config pp.view in
     let count =
-      Hashtbl.fold
-        (fun r d acc -> if r <> primary && Digest.equal d pp.digest then acc + 1 else acc)
-        entry.prepares 0
+      List.fold_left
+        (fun acc (r, d) -> if r <> primary && Digest.equal d pp.digest then acc + 1 else acc)
+        0 (sorted_bindings entry.prepares)
     in
     if count >= 2 * t.config.f && entry.prepared_proof = None then begin
       entry.prepared_proof <-
@@ -556,7 +568,12 @@ let handle_pre_prepare t sender (pp : M.pre_prepare) =
     | Some _ | None -> ());
     let acceptable =
       match entry.pre_prepare with
-      | Some existing -> Digest.equal existing.digest pp.digest
+      | Some existing ->
+        let same = Digest.equal existing.digest pp.digest in
+        (* Same view, same slot, different digest: the primary signed two
+           conflicting orderings — direct evidence of equivocation. *)
+        if not same then Base_obs.Metrics.incr t.obs.c_equivocation;
+        same
       | None ->
         Digest.equal (ordering_digest pp.requests pp.nondet) pp.digest
         && List.length pp.requests <= t.config.batch_max
@@ -597,6 +614,13 @@ let handle_prepare t sender (p : M.prepare) =
   then begin
     let entry = get_entry t p.seq in
     if not (Hashtbl.mem entry.prepares sender) then begin
+      (match entry.pre_prepare with
+      | Some accepted
+        when accepted.view = p.view && not (Digest.equal accepted.digest p.digest) ->
+        (* A peer prepared a different digest for the slot we accepted: it
+           must have seen a conflicting pre-prepare from the primary. *)
+        Base_obs.Metrics.incr t.obs.c_equivocation
+      | Some _ | None -> ());
       Hashtbl.replace entry.prepares sender p.digest;
       maybe_prepared t p.seq entry
     end
@@ -615,25 +639,25 @@ let handle_commit t sender (c : M.commit) =
 
 let fetch_target t =
   let weak = Types.weak_quorum t.config in
-  Hashtbl.fold
-    (fun seq tbl best ->
+  List.fold_left
+    (fun best (seq, tbl) ->
       if seq < t.h then best
       else begin
         (* Find a digest with >= f+1 votes at this seqno. *)
         let certified =
-          Hashtbl.fold
-            (fun _ d acc ->
+          List.fold_left
+            (fun acc (_, d) ->
               match acc with
               | Some _ -> acc
               | None -> if count_matching tbl d >= weak then Some d else None)
-            tbl None
+            None (sorted_bindings tbl)
         in
         match (certified, best) with
         | Some d, None -> Some (seq, d)
         | Some d, Some (bs, _) when seq > bs -> Some (seq, d)
         | _ -> best
       end)
-    t.cp_msgs None
+    None (sorted_bindings t.cp_msgs)
 
 (* A repair fetch may target a checkpoint at or below our own execution
    point: the replica rolls back to it and re-executes the committed log
@@ -840,18 +864,18 @@ and install_new_view t v' min_s (o : M.pre_prepare list) =
      still waiting; without this, liveness depends on a client
      retransmission landing inside the view's timeout window. *)
   if is_primary t then
-    Hashtbl.iter
-      (fun _ cr ->
+    List.iter
+      (fun (_, cr) ->
         match cr.pending with
         | Some r when r.timestamp > cr.last_ts -> propose t r
         | Some _ | None -> ())
-      t.clients
+      (sorted_bindings t.clients)
 
 and check_new_view t v' =
   if Types.primary t.config v' = t.id && t.status = View_changing && t.view = v' then begin
     let tbl = vc_table t v' in
     if Hashtbl.length tbl >= Types.quorum t.config then begin
-      let vc_list = Hashtbl.fold (fun _ vc acc -> vc :: acc) tbl [] in
+      let vc_list = List.map snd (sorted_bindings tbl) in
       let min_s, o = compute_o v' vc_list in
       let summary = List.map (fun vc -> (vc.M.replica, vc.M.last_stable)) vc_list in
       broadcast t
@@ -866,17 +890,18 @@ let handle_view_change t sender (vc : M.view_change) =
     (* Liveness rule: join the smallest view for which f+1 replicas already
        asked for a view change above ours. *)
     if vc.new_view > t.view then begin
-      let higher = Hashtbl.create 8 in
-      Hashtbl.iter
-        (fun v tbl ->
-          if v > t.view then
-            Hashtbl.iter (fun r _ -> if not (Hashtbl.mem higher r) then
-                             Hashtbl.replace higher r v
-                           else if v < Hashtbl.find higher r then Hashtbl.replace higher r v)
-              tbl)
-        t.vcs;
-      if Hashtbl.length higher >= Types.weak_quorum t.config then begin
-        let target = Hashtbl.fold (fun _ v acc -> min v acc) higher max_int in
+      (* Every (replica, view) vote above our view; the per-replica minimum
+         view over these attains its minimum at the overall minimum, so the
+         target view is just the smallest voted view. *)
+      let votes =
+        List.concat_map
+          (fun (v, tbl) ->
+            if v > t.view then List.map (fun (r, _) -> (r, v)) (sorted_bindings tbl) else [])
+          (sorted_bindings t.vcs)
+      in
+      let voters = List.sort_uniq Int.compare (List.map fst votes) in
+      if List.length voters >= Types.weak_quorum t.config then begin
+        let target = List.fold_left (fun acc (_, v) -> min acc v) max_int votes in
         do_view_change t target
       end
     end;
@@ -932,9 +957,9 @@ let on_status_timer t =
     (M.Status { st_view = t.view; st_last_exec = t.last_exec; st_h = t.h; st_replica = t.id });
   let stalled = t.last_exec = t.last_progress_exec in
   if stalled && t.status = Normal then begin
-    (* Retransmit protocol messages for in-flight slots. *)
-    Hashtbl.iter
-      (fun seq entry ->
+    (* Retransmit protocol messages for in-flight slots, in seqno order. *)
+    List.iter
+      (fun (seq, entry) ->
         if seq > t.last_exec then begin
           match entry.pre_prepare with
           | Some pp when pp.view = t.view ->
@@ -947,7 +972,7 @@ let on_status_timer t =
                 (M.Commit { view = pp.view; seq; digest = pp.digest; replica = t.id })
           | Some _ | None -> ()
         end)
-      t.entries;
+      (sorted_bindings t.entries);
     maybe_fetch_check t ~stalled:true
   end;
   t.last_progress_exec <- t.last_exec;
@@ -980,16 +1005,16 @@ let handle_status t sender (st : M.status_msg) =
      rejoin the group's view; nothing could have committed in ours. *)
   if sender = st.st_replica && t.status = View_changing && st.st_view < t.view then begin
     let lower, target =
-      Hashtbl.fold
-        (fun _ v (count, best) -> if v < t.view then (count + 1, max best v) else (count, best))
-        t.peer_views (0, 0)
+      List.fold_left
+        (fun (count, best) (_, v) ->
+          if v < t.view then (count + 1, max best v) else (count, best))
+        (0, 0) (sorted_bindings t.peer_views)
     in
     let prepared_above =
-      Hashtbl.fold
-        (fun _ e acc ->
-          acc
-          || (match e.prepared_proof with Some p -> p.M.pp_view > target | None -> false))
-        t.entries false
+      List.exists
+        (fun (_, e) ->
+          match e.prepared_proof with Some p -> p.M.pp_view > target | None -> false)
+        (sorted_bindings t.entries)
     in
     if lower >= Types.quorum t.config - 1 && not prepared_above then begin
       t.view <- target;

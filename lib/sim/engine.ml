@@ -35,10 +35,38 @@ type counters = {
   mutable recv_msgs : int;
   mutable recv_bytes : int;
   mutable dropped_msgs : int;
+  mutable corrupted_msgs : int;
 }
 
 let fresh_counters () =
-  { sent_msgs = 0; sent_bytes = 0; recv_msgs = 0; recv_bytes = 0; dropped_msgs = 0 }
+  {
+    sent_msgs = 0;
+    sent_bytes = 0;
+    recv_msgs = 0;
+    recv_bytes = 0;
+    dropped_msgs = 0;
+    corrupted_msgs = 0;
+  }
+
+(* A scheduled fault on a set of links; [-1] endpoints are wildcards.
+   Expired windows are pruned lazily on the next send. *)
+type fault_kind = F_delay of int | F_drop of float | F_corrupt of float
+
+type link_fault = {
+  lf_src : int;
+  lf_dst : int;
+  lf_kind : fault_kind;
+  lf_until : Sim_time.t;
+}
+
+(* Live gauges exported when a metrics registry is attached; the engine is
+   otherwise observable only through its counter records. *)
+type obs = {
+  om : Base_obs.Metrics.t;
+  og_queue : Base_obs.Metrics.gauge;
+  oc_corrupted : Base_obs.Metrics.counter;
+  og_inflight : (int, Base_obs.Metrics.gauge) Hashtbl.t;
+}
 
 type 'msg node = {
   handler : 'msg t -> 'msg event -> unit;
@@ -46,6 +74,7 @@ type 'msg node = {
   clock_offset : int64;
   clock_drift : float; (* multiplicative, close to 1.0 *)
   counters : counters;
+  mutable inflight : int;  (* queued deliveries addressed to this node *)
 }
 
 and 'msg queued =
@@ -66,7 +95,10 @@ and 'msg t = {
      parameter list stripped ("PRE-PREPARE(v=0,n=2)" -> "PRE-PREPARE"). *)
   labels : (string, counters) Hashtbl.t;
   mutable max_queue_depth : int;
-  mutable tracer : (Sim_time.t -> string -> unit) option;
+  mutable tracers : (Sim_time.t -> string -> unit) list;
+  mutable link_faults : link_fault list;
+  mutable corruptor : (Prng.t -> 'msg -> 'msg option) option;
+  mutable obs : obs option;
 }
 
 let create config =
@@ -82,7 +114,10 @@ let create config =
     totals = fresh_counters ();
     labels = Hashtbl.create 16;
     max_queue_depth = 0;
-    tracer = None;
+    tracers = [];
+    link_faults = [];
+    corruptor = None;
+    obs = None;
   }
 
 let base_label label =
@@ -99,12 +134,30 @@ let label_counters_of t msg =
 
 let note_queue_depth t =
   let depth = Base_util.Heap.length t.queue in
-  if depth > t.max_queue_depth then t.max_queue_depth <- depth
+  if depth > t.max_queue_depth then t.max_queue_depth <- depth;
+  match t.obs with
+  | None -> ()
+  | Some o -> Base_obs.Metrics.set o.og_queue (float_of_int depth)
+
+let inflight_gauge o id =
+  match Hashtbl.find_opt o.og_inflight id with
+  | Some g -> g
+  | None ->
+    let g = Base_obs.Metrics.gauge o.om (Printf.sprintf "engine.inflight.n%02d" id) in
+    Hashtbl.replace o.og_inflight id g;
+    g
+
+let note_inflight t id delta =
+  match Hashtbl.find_opt t.nodes id with
+  | None -> ()
+  | Some n ->
+    n.inflight <- n.inflight + delta;
+    (match t.obs with
+    | None -> ()
+    | Some o -> Base_obs.Metrics.set (inflight_gauge o id) (float_of_int n.inflight))
 
 let trace t fmt =
-  Format.kasprintf
-    (fun s -> match t.tracer with None -> () | Some f -> f t.time s)
-    fmt
+  Format.kasprintf (fun s -> List.iter (fun f -> f t.time s) t.tracers) fmt
 
 let add_node t ~id handler =
   if Hashtbl.mem t.nodes id then invalid_arg "Engine.add_node: duplicate id";
@@ -117,7 +170,14 @@ let add_node t ~id handler =
     if ppm = 0 then 1.0 else 1.0 +. (float_of_int (Prng.int t.rng (2 * ppm) - ppm) /. 1e6)
   in
   Hashtbl.replace t.nodes id
-    { handler; up = true; clock_offset = offset; clock_drift = drift; counters = fresh_counters () }
+    {
+      handler;
+      up = true;
+      clock_offset = offset;
+      clock_drift = drift;
+      counters = fresh_counters ();
+      inflight = 0;
+    }
 
 let node_count t = Hashtbl.length t.nodes
 
@@ -141,7 +201,32 @@ let blocked t src dst =
   | None -> false
   | Some (a, b) -> (List.mem src a && List.mem dst b) || (List.mem src b && List.mem dst a)
 
-let send t ~src ~dst msg =
+let link_matches f ~src ~dst =
+  (f.lf_src = -1 || f.lf_src = src) && (f.lf_dst = -1 || f.lf_dst = dst)
+
+(* Prune expired windows, then select the ones covering this link.  Pruning
+   happens on the send path so an idle engine holds expired faults — harmless,
+   they match nothing once [lf_until] passes. *)
+let active_faults t ~src ~dst =
+  (match t.link_faults with
+  | [] -> ()
+  | fs -> t.link_faults <- List.filter (fun f -> Sim_time.compare f.lf_until t.time > 0) fs);
+  List.filter (fun f -> link_matches f ~src ~dst) t.link_faults
+
+let add_fault t ~src ~dst ~until kind =
+  t.link_faults <- { lf_src = src; lf_dst = dst; lf_kind = kind; lf_until = until } :: t.link_faults
+
+let fault_delay t ~src ~dst ~extra_us ~until = add_fault t ~src ~dst ~until (F_delay extra_us)
+
+let fault_drop t ~src ~dst ~p ~until = add_fault t ~src ~dst ~until (F_drop p)
+
+let fault_corrupt t ~src ~dst ~p ~until = add_fault t ~src ~dst ~until (F_corrupt p)
+
+let clear_link_faults t = t.link_faults <- []
+
+let set_corruptor t f = t.corruptor <- Some f
+
+let send t ?(extra_us = 0) ~src ~dst msg =
   let size = t.config.size_of msg in
   let sender = get_node t src in
   let per_label = label_counters_of t msg in
@@ -151,34 +236,80 @@ let send t ~src ~dst msg =
   t.totals.sent_bytes <- t.totals.sent_bytes + size;
   per_label.sent_msgs <- per_label.sent_msgs + 1;
   per_label.sent_bytes <- per_label.sent_bytes + size;
-  let dropped =
-    blocked t src dst
-    || (t.config.drop_p > 0.0 && Prng.bernoulli t.rng t.config.drop_p)
-  in
-  if dropped then begin
+  let faults = active_faults t ~src ~dst in
+  let drop why =
     t.totals.dropped_msgs <- t.totals.dropped_msgs + 1;
     sender.counters.dropped_msgs <- sender.counters.dropped_msgs + 1;
     per_label.dropped_msgs <- per_label.dropped_msgs + 1;
-    trace t "drop  %d->%d %s (%dB)" src dst (t.config.label_of msg) size
-  end
+    trace t "drop  %d->%d %s (%dB)%s" src dst (t.config.label_of msg) size why
+  in
+  let dropped =
+    blocked t src dst
+    || (t.config.drop_p > 0.0 && Prng.bernoulli t.rng t.config.drop_p)
+    || List.exists
+         (fun f ->
+           match f.lf_kind with
+           | F_drop p -> p > 0.0 && Prng.bernoulli t.rng p
+           | F_delay _ | F_corrupt _ -> false)
+         faults
+  in
+  if dropped then drop ""
   else begin
-    let jitter =
-      if t.config.jitter_us = 0 then 0.0
-      else Prng.exponential t.rng ~mean:(float_of_int t.config.jitter_us)
+    let deliver ~corrupted msg' =
+      if corrupted then begin
+        t.totals.corrupted_msgs <- t.totals.corrupted_msgs + 1;
+        sender.counters.corrupted_msgs <- sender.counters.corrupted_msgs + 1;
+        per_label.corrupted_msgs <- per_label.corrupted_msgs + 1;
+        (match t.obs with
+        | None -> ()
+        | Some o -> Base_obs.Metrics.incr o.oc_corrupted);
+        trace t "crpt  %d->%d %s (%dB)" src dst (t.config.label_of msg) size
+      end;
+      let fault_extra =
+        List.fold_left
+          (fun acc f -> match f.lf_kind with F_delay d -> acc + d | _ -> acc)
+          extra_us faults
+      in
+      let jitter =
+        if t.config.jitter_us = 0 then 0.0
+        else Prng.exponential t.rng ~mean:(float_of_int t.config.jitter_us)
+      in
+      let tx_us =
+        if t.config.bandwidth_bps = 0 then 0.0
+        else float_of_int (size * 8) /. float_of_int t.config.bandwidth_bps *. 1e6
+      in
+      let delay =
+        Sim_time.of_us (t.config.latency_us + fault_extra + int_of_float (jitter +. tx_us))
+      in
+      trace t "send  %d->%d %s (%dB)" src dst (t.config.label_of msg) size;
+      Base_util.Heap.push t.queue
+        (Sim_time.add t.time delay, Q_deliver { src; dst; msg = msg'; size });
+      note_inflight t dst 1;
+      note_queue_depth t
     in
-    let tx_us =
-      if t.config.bandwidth_bps = 0 then 0.0
-      else float_of_int (size * 8) /. float_of_int t.config.bandwidth_bps *. 1e6
+    let wants_corrupt =
+      List.exists
+        (fun f ->
+          match f.lf_kind with
+          | F_corrupt p -> p > 0.0 && Prng.bernoulli t.rng p
+          | F_delay _ | F_drop _ -> false)
+        faults
     in
-    let delay =
-      Sim_time.of_us (t.config.latency_us + int_of_float (jitter +. tx_us))
-    in
-    trace t "send  %d->%d %s (%dB)" src dst (t.config.label_of msg) size;
-    Base_util.Heap.push t.queue (Sim_time.add t.time delay, Q_deliver { src; dst; msg; size });
-    note_queue_depth t
+    if not wants_corrupt then deliver ~corrupted:false msg
+    else
+      (* A corrupt window needs a message-type-aware corruptor; without one
+         (or when it declines) the mangled bytes are unparseable noise and
+         the message is simply lost. *)
+      match t.corruptor with
+      | None -> drop " (corrupt)"
+      | Some c -> (
+        match c t.rng msg with
+        | Some msg' -> deliver ~corrupted:true msg'
+        | None -> drop " (corrupt)")
   end
 
-let multicast t ~src ~dsts msg = List.iter (fun dst -> send t ~src ~dst msg) dsts
+let multicast t ?extra_us ~src ~dsts msg =
+  List.iter (fun dst -> send t ?extra_us ~src ~dst msg) dsts
 
 let partition t a b = t.partition_groups <- Some (a, b)
 
@@ -196,6 +327,7 @@ let cancel_timer t id = Hashtbl.replace t.cancelled id ()
 let dispatch t queued =
   match queued with
   | Q_deliver { src; dst; msg; size } -> begin
+    note_inflight t dst (-1);
     match Hashtbl.find_opt t.nodes dst with
     | None -> ()
     | Some node ->
@@ -229,6 +361,7 @@ let step t =
   | None -> false
   | Some (time, queued) ->
     if Sim_time.compare time t.time > 0 then t.time <- time;
+    note_queue_depth t;
     dispatch t queued;
     true
 
@@ -266,4 +399,18 @@ let queue_depth t = Base_util.Heap.length t.queue
 
 let max_queue_depth t = t.max_queue_depth
 
-let set_tracer t f = t.tracer <- Some f
+let node_inflight t id = (get_node t id).inflight
+
+let set_tracer t f = t.tracers <- t.tracers @ [ f ]
+
+let attach_metrics t m =
+  let o =
+    {
+      om = m;
+      og_queue = Base_obs.Metrics.gauge m "engine.queue_depth";
+      oc_corrupted = Base_obs.Metrics.counter m "engine.corrupted_msgs";
+      og_inflight = Hashtbl.create 16;
+    }
+  in
+  t.obs <- Some o;
+  note_queue_depth t

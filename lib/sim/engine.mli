@@ -52,15 +52,48 @@ val node_is_up : 'msg t -> int -> bool
 
 (** {1 Communication} *)
 
-val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+val send : 'msg t -> ?extra_us:int -> src:int -> dst:int -> 'msg -> unit
+(** [extra_us] adds a per-message delay on top of the modelled network cost —
+    the hook an adversary uses to selectively slow down individual protocol
+    messages without touching the link configuration. *)
 
-val multicast : 'msg t -> src:int -> dsts:int list -> 'msg -> unit
+val multicast : 'msg t -> ?extra_us:int -> src:int -> dsts:int list -> 'msg -> unit
 
 val partition : 'msg t -> int list -> int list -> unit
 (** [partition t a b] blocks traffic between groups [a] and [b] until
     {!heal}. *)
 
 val heal : 'msg t -> unit
+
+(** {1 Scheduled link faults}
+
+    Timed fault windows composable per link: each window applies to messages
+    sent while virtual time is before [until], on links matching
+    [src]/[dst] ([-1] is a wildcard endpoint).  Windows stack — two delay
+    windows on the same link add up, and every matching drop/corrupt window
+    draws its own Bernoulli trial.  Expired windows are pruned lazily. *)
+
+val fault_delay :
+  'msg t -> src:int -> dst:int -> extra_us:int -> until:Sim_time.t -> unit
+(** Add [extra_us] of one-way delay to matching messages. *)
+
+val fault_drop : 'msg t -> src:int -> dst:int -> p:float -> until:Sim_time.t -> unit
+(** Drop matching messages with probability [p] (on top of the base
+    [drop_p]). *)
+
+val fault_corrupt : 'msg t -> src:int -> dst:int -> p:float -> until:Sim_time.t -> unit
+(** With probability [p], pass a matching message through the corruptor
+    installed by {!set_corruptor}.  Without a corruptor — or when it returns
+    [None] — the message is dropped instead (mangled beyond recognition). *)
+
+val clear_link_faults : 'msg t -> unit
+
+val set_corruptor : 'msg t -> (Base_util.Prng.t -> 'msg -> 'msg option) -> unit
+(** Install the message corruptor used by {!fault_corrupt} windows: given
+    engine randomness and the in-flight message, produce the damaged variant
+    actually delivered ([None] = not corruptible, drop it).  Corrupted
+    deliveries are counted in [corrupted_msgs] and, when {!attach_metrics}
+    was called, in the [engine.corrupted_msgs] counter. *)
 
 (** {1 Time and timers} *)
 
@@ -100,6 +133,7 @@ type counters = {
   mutable recv_msgs : int;
   mutable recv_bytes : int;
   mutable dropped_msgs : int;
+  mutable corrupted_msgs : int;  (** delivered after in-flight corruption *)
 }
 
 val node_counters : 'msg t -> int -> counters
@@ -118,6 +152,18 @@ val queue_depth : 'msg t -> int
 val max_queue_depth : 'msg t -> int
 (** High-water mark of {!queue_depth} over the run. *)
 
+val node_inflight : 'msg t -> int -> int
+(** Deliveries currently queued for this node. *)
+
 val set_tracer : 'msg t -> (Sim_time.t -> string -> unit) -> unit
-(** Install a callback receiving a line per network event (send, deliver,
-    drop); used by the architecture-trace experiment. *)
+(** Register a callback receiving a line per network event (send, deliver,
+    drop, corrupt).  Tracers compose: every registered callback sees every
+    line, so the architecture-trace experiment and the structured trace ring
+    can share the event stream. *)
+
+val attach_metrics : 'msg t -> Base_obs.Metrics.t -> unit
+(** Export live engine state into a metrics registry: the
+    [engine.queue_depth] gauge (updated on every push/pop), per-node
+    [engine.inflight.nXX] gauges, and the [engine.corrupted_msgs] counter.
+    Values remain pure functions of the seed — the registry only mirrors
+    simulator state. *)

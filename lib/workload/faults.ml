@@ -1,7 +1,7 @@
 (** Fault-injection scenarios: opportunistic N-version programming against a
     deterministic software bug (E6), state corruption with proactive-recovery
-    repair (E9), and availability probes used by the recovery experiment
-    (E5). *)
+    repair (E9), availability probes used by the recovery experiment (E5),
+    and the scheduled chaos sweep with a Byzantine primary (E13). *)
 
 open Base_nfs.Nfs_types
 module Runtime = Base_core.Runtime
@@ -166,3 +166,117 @@ let throughput_trace ?(seed = 13L) ~duration_s ~window_s ~recovery () =
   ( sys,
     Array.to_list (Array.mapi (fun i c -> { w_start_s = float_of_int i *. window_s; w_ops = c }) counts)
   )
+
+(* --- E13: chaos sweep — scheduled faults plus a Byzantine primary --------------- *)
+
+module Faultplan = Base_sim.Faultplan
+module Metrics = Base_obs.Metrics
+module P = Base_nfs.Nfs_proto
+
+type chaos_outcome = {
+  ch_plan : Faultplan.t;
+  ch_ops : int;  (** writes attempted while the storm was running *)
+  ch_completed : int;
+  ch_stalls : int;  (** liveness losses: the event budget ran out *)
+  ch_read_checks : int;
+  ch_read_errors : int;  (** linearizability violations (read-your-writes) *)
+  ch_view_changes : int;  (** completed view changes ([bft.view_change_us] samples) *)
+  ch_equivocations : int;  (** [bft.equivocation_detected] *)
+  ch_corrupted : int;  (** [engine.corrupted_msgs] *)
+  ch_pp_muted : int;  (** [adversary.pp_muted] *)
+  ch_divergent : int;  (** replicas off the majority abstract state after settling *)
+}
+
+(* The blessed f=1 schedule: at most one replica is faulty at any moment, so
+   every window is survivable, yet each window exercises a different
+   view-change trigger — an equivocating primary, an omission/delay attack on
+   its successor, a primary crash, an isolated primary — followed by
+   link-level noise (delay spike, loss, corruption) and a mute backup. *)
+let chaos_plan_text =
+  "# f=1 chaos schedule: never more than one faulty replica at a time.\n\
+   at 50ms behavior 0 equivocate\n\
+   at 450ms behavior 0 honest\n\
+   at 600ms attack-preprepare 1 mute=0.7 delay=3ms for 400ms\n\
+   at 1200ms crash 2\n\
+   at 1700ms reboot 2\n\
+   at 2100ms partition 3 / 0 1 2\n\
+   at 2500ms heal\n\
+   at 2700ms delay *->1 extra=2ms for 200ms\n\
+   at 2950ms drop 1->* p=0.3 for 200ms\n\
+   at 3200ms corrupt *->* p=0.2 for 200ms\n\
+   at 3450ms behavior 3 mute\n\
+   at 3750ms behavior 3 honest\n"
+
+let counter_value m name = Metrics.counter_value (Metrics.counter m name)
+
+(* Closed-loop writes with periodic read-back checks while the fault plan
+   fires around the group.  Every operation uses the [try_] driver: a stall
+   is counted, not fatal, so the experiment reports liveness instead of
+   crashing.  Reads go through the read-only optimisation, whose 2f+1
+   matching replies must intersect every commit quorum — the linearizability
+   property checked against the last completed write. *)
+let chaos_experiment ?(seed = 21L) () =
+  let sys =
+    Systems.make_basefs ~seed ~hetero:true ~checkpoint_period:16 ~n_clients:1
+      ~client_timeout_us:60_000 ~viewchange_timeout_us:120_000 ()
+  in
+  let rt = sys.Systems.runtime in
+  let plan =
+    match Faultplan.parse chaos_plan_text with
+    | Ok p -> p
+    | Error e -> invalid_arg ("chaos_experiment: bad plan: " ^ e)
+  in
+  let nfs = nfs_of sys ~client:0 in
+  let module C = Base_nfs.Nfs_client in
+  let fh, _ = C.ok (C.create nfs root_oid "chaos" sattr_empty) in
+  let t0 = Sim_time.to_sec (Runtime.now rt) in
+  Runtime.apply_faultplan rt plan;
+  let ops = ref 0 and completed = ref 0 and stalls = ref 0 in
+  let read_checks = ref 0 and read_errors = ref 0 in
+  let last_write = ref None in
+  let i = ref 0 in
+  while Sim_time.to_sec (Runtime.now rt) < t0 +. 4.2 do
+    incr i;
+    let payload = Printf.sprintf "chaos-op-%04d" !i in
+    incr ops;
+    (match
+       Runtime.try_invoke_sync rt ~client:0
+         ~operation:(P.encode_call (P.Write (fh, 0, payload)))
+         ()
+     with
+    | Ok _ -> incr completed; last_write := Some payload
+    | Error _ -> incr stalls);
+    match !last_write with
+    | Some expect when !i mod 4 = 0 -> (
+      incr read_checks;
+      match
+        Runtime.try_invoke_sync rt ~client:0 ~read_only:true
+          ~operation:(P.encode_call (P.Read (fh, 0, String.length expect)))
+          ()
+      with
+      | Ok reply -> (
+        match P.decode_reply reply with
+        | P.R_read (data, _) -> if not (String.equal data expect) then incr read_errors
+        | _ -> incr read_errors)
+      | Error _ -> incr stalls)
+    | Some _ | None -> ()
+  done;
+  (* The storm is over (the last window closes at 3.75 s): drain in-flight
+     traffic and give the rebooted/partitioned replicas time to catch up via
+     status gossip and state transfer before judging divergence. *)
+  Engine.run ~until:(Sim_time.add (Runtime.now rt) (Sim_time.of_sec 2.0)) (Runtime.engine rt);
+  let m = Runtime.metrics rt in
+  ( sys,
+    {
+      ch_plan = plan;
+      ch_ops = !ops;
+      ch_completed = !completed;
+      ch_stalls = !stalls;
+      ch_read_checks = !read_checks;
+      ch_read_errors = !read_errors;
+      ch_view_changes = Metrics.hist_count (Metrics.histogram m "bft.view_change_us");
+      ch_equivocations = counter_value m "bft.equivocation_detected";
+      ch_corrupted = counter_value m "engine.corrupted_msgs";
+      ch_pp_muted = counter_value m "adversary.pp_muted";
+      ch_divergent = divergent_replicas sys;
+    } )

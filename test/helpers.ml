@@ -55,10 +55,10 @@ let kv_wrapper ?(n_objects = 8) () =
     } )
 
 let make_system ?(seed = 1L) ?(f = 1) ?(n_clients = 1) ?(checkpoint_period = 16)
-    ?(drop_p = 0.0) ?batch_max ?max_inflight () =
+    ?(drop_p = 0.0) ?batch_max ?max_inflight ?client_timeout_us ?viewchange_timeout_us () =
   let config =
     Base_bft.Types.make_config ~checkpoint_period ~log_window:(checkpoint_period * 2)
-      ?batch_max ?max_inflight ~f ~n_clients ()
+      ?batch_max ?max_inflight ?client_timeout_us ?viewchange_timeout_us ~f ~n_clients ()
   in
   let engine_config =
     {

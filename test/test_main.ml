@@ -12,6 +12,8 @@ let () =
       ("bft-wire", Test_bft_wire.suite);
       ("byzantine-input", Test_byzantine_input.suite);
       ("determinism", Test_determinism.suite);
+      ("faultplan", Test_faultplan.suite);
+      ("view-change", Test_view_change.suite);
       ("lint", Test_lint.suite);
       ("batching", Test_batching.suite);
       ("stack", Test_stack.suite);
