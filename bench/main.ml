@@ -493,7 +493,11 @@ let e10 () =
         let k = Base_crypto.Digest_t.raw r in
         Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0))
       roots;
-    Array.length roots - Hashtbl.fold (fun _ c acc -> max c acc) tbl 0
+    let tallies =
+      Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Array.length roots - List.fold_left (fun acc (_, c) -> max c acc) 0 tallies
   in
   let recoveries =
     Array.fold_left
@@ -603,7 +607,7 @@ let e13 () =
   let report, o = e13_run seed in
   Printf.printf "  fault plan (canonical form):\n";
   String.split_on_char '\n' (Base_sim.Faultplan.to_string o.Faults.ch_plan)
-  |> List.iter (fun l -> if l <> "" then Printf.printf "    %s\n" l);
+  |> List.iter (fun l -> if not (String.equal l "") then Printf.printf "    %s\n" l);
   Printf.printf "\n  writes: %d attempted, %d completed, %d liveness stalls\n" o.Faults.ch_ops
     o.Faults.ch_completed o.Faults.ch_stalls;
   Printf.printf "  reads : %d checked, %d linearizability violations\n" o.Faults.ch_read_checks

@@ -59,7 +59,9 @@ let modify t i =
   Hashtbl.replace t.dirty i ()
 
 let flush_dirty t =
-  Hashtbl.iter (fun i () -> refresh_leaf t i) t.dirty;
+  Hashtbl.fold (fun i () acc -> i :: acc) t.dirty []
+  |> List.sort Int.compare
+  |> List.iter (refresh_leaf t);
   Hashtbl.reset t.dirty
 
 let take_checkpoint t ~seq ~client_rows =

@@ -125,7 +125,9 @@ let receive t (env : M.envelope) =
   if M.verify t.keychain ~receiver:t.id env then begin
     match (env.body, t.current) with
     | M.Reply r, Some p
-      when r.client = t.id && r.timestamp = p.request.timestamp && r.replica = env.sender
+      when r.client = t.id
+           && Int64.equal r.timestamp p.request.timestamp
+           && r.replica = env.sender
            && Types.is_replica t.config env.sender ->
       Hashtbl.replace p.replies env.sender r.result;
       check_quorum t p
@@ -134,7 +136,7 @@ let receive t (env : M.envelope) =
 
 let on_timer t ~tag ~payload =
   match (tag, t.current) with
-  | "client", Some p when Int64.of_int payload = p.request.timestamp ->
+  | "client", Some p when Int64.equal (Int64.of_int payload) p.request.timestamp ->
     p.attempts <- p.attempts + 1;
     t.stats.retransmissions <- t.stats.retransmissions + 1;
     if p.request.read_only && p.attempts >= 2 then begin

@@ -453,7 +453,7 @@ and propose t (r : M.request) =
   let cr = client_rec t r.client in
   if r.timestamp < cr.assigned_ts || r.timestamp <= cr.last_ts then ()
   else if
-    r.timestamp = cr.assigned_ts
+    Int64.equal r.timestamp cr.assigned_ts
     && (match Hashtbl.find_opt t.entries cr.assigned_seq with
        | Some { pre_prepare = Some pp; _ } -> pp.view = t.view
        | Some _ | None -> false)
@@ -516,7 +516,7 @@ let handle_request t env (r : M.request) =
   else begin
     let cr = client_rec t r.client in
     if r.timestamp < cr.last_ts then ()
-    else if r.timestamp = cr.last_ts then begin
+    else if Int64.equal r.timestamp cr.last_ts then begin
       (* Retransmission of an executed request: resend the stored reply. *)
       match cr.last_reply with
       | Some reply -> send_reply t { reply with view = t.view; replica = t.id }

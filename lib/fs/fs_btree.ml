@@ -59,7 +59,7 @@ let fh_of t id = Printf.sprintf "B:%d:%s" id t.session
 
 let node_of_fh t fh =
   match String.split_on_char ':' fh with
-  | [ "B"; id; session ] when session = t.session -> (
+  | [ "B"; id; session ] when String.equal session t.session -> (
     match int_of_string_opt id with
     | Some i -> ( match Hashtbl.find_opt t.nodes i with Some n -> Ok n | None -> Error Estale)
     | None -> Error Estale)
@@ -281,7 +281,7 @@ let create t =
                   match Catalogue.find_opt (sdn.id, sname) t.catalogue with
                   | None -> Error Enoent
                   | Some id ->
-                    if sdn.id = ddn.id && sname = dname then Ok ()
+                    if sdn.id = ddn.id && String.equal sname dname then Ok ()
                     else begin
                       (match Catalogue.find_opt (ddn.id, dname) t.catalogue with
                       | Some victim -> unlink t ddn.id dname victim

@@ -123,7 +123,10 @@ let resize_chain t n size =
 let slot_find n name =
   let found = ref None in
   Array.iteri
-    (fun i s -> match s with Some (nm, id) when nm = name && !found = None -> found := Some (i, id) | _ -> ())
+    (fun i s ->
+      match s with
+      | Some (nm, id) when String.equal nm name && !found = None -> found := Some (i, id)
+      | _ -> ())
     n.slots;
   !found
 
@@ -351,7 +354,7 @@ let create t =
                 match slot_find sdn sname with
                 | None -> Error Enoent
                 | Some (_, id) ->
-                  if sdn.id = ddn.id && sname = dname then Ok ()
+                  if sdn.id = ddn.id && String.equal sname dname then Ok ()
                   else begin
                     (match slot_find ddn dname with
                     | Some (_, victim_id) -> (

@@ -47,7 +47,7 @@ let leaf_of path =
   | Some i -> String.sub path (i + 1) (String.length path - i - 1)
   | None -> path
 
-let join dir name = if dir = "" then name else dir ^ "/" ^ name
+let join dir name = if String.equal dir "" then name else dir ^ "/" ^ name
 
 let handle_for t path =
   match Hashtbl.find_opt t.paths2h path with
@@ -78,7 +78,10 @@ let attr_of t path (n : node) =
     | Reg | Lnk -> String.length n.data
     | Dir ->
       (* Derived from a table scan: hash file systems have no dir blocks. *)
-      Hashtbl.fold (fun p _ acc -> if p <> "" && parent_of p = path then acc + 1 else acc)
+      Hashtbl.fold
+        (fun p _ acc ->
+          if (not (String.equal p "")) && String.equal (parent_of p) path then acc + 1
+          else acc)
         t.nodes 0
       * 64
   in
@@ -105,7 +108,10 @@ let poison_filter t data =
 
 let children t dir_path =
   Hashtbl.fold
-    (fun p n acc -> if p <> "" && parent_of p = dir_path then (leaf_of p, p, n) :: acc else acc)
+    (fun p n acc ->
+      if (not (String.equal p "")) && String.equal (parent_of p) dir_path then
+        (leaf_of p, p, n) :: acc
+      else acc)
     t.nodes []
 
 let make ~seed ~now =
@@ -159,9 +165,9 @@ let move_subtree t old_path new_path =
   let moved =
     Hashtbl.fold
       (fun p n acc ->
-        if p = old_path then (p, new_path, n) :: acc
+        if String.equal p old_path then (p, new_path, n) :: acc
         else if String.length p > String.length prefix
-                && String.sub p 0 (String.length prefix) = prefix then
+                && String.equal (String.sub p 0 (String.length prefix)) prefix then
           (p, new_path ^ "/" ^ String.sub p (String.length prefix)
                             (String.length p - String.length prefix),
            n)
@@ -298,7 +304,7 @@ let create t =
                   match node_at t src with
                   | Error _ -> Error Enoent
                   | Ok _ ->
-                    if src = dst then Ok ()
+                    if String.equal src dst then Ok ()
                     else begin
                       (match node_at t dst with
                       | Ok victim ->

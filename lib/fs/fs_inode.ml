@@ -41,7 +41,7 @@ let fh_of t ino = Printf.sprintf "I:%d:%s" ino t.boot_salt
 
 let node_of_fh t fh =
   match String.split_on_char ':' fh with
-  | [ "I"; ino; salt ] when salt = t.boot_salt -> (
+  | [ "I"; ino; salt ] when String.equal salt t.boot_salt -> (
     match int_of_string_opt ino with
     | Some i when i >= 0 && i < Array.length t.table -> (
       match t.table.(i) with Some n -> Ok n | None -> Error Estale)
@@ -267,7 +267,7 @@ let create t =
               match dir_entries ddn with
               | Error e -> Error e
               | Ok dd ->
-                if sdn.ino = ddn.ino && sname = dname then Ok ()
+                if sdn.ino = ddn.ino && String.equal sname dname then Ok ()
                 else begin
                   (* Overwrite semantics: caller (the wrapper) has validated
                      kind compatibility and emptiness. *)

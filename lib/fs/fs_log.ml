@@ -285,7 +285,7 @@ let create t =
                   match List.assoc_opt sname sv.entries with
                   | None -> Error Enoent
                   | Some id ->
-                    if sv.id = dv.id && sname = dname then Ok ()
+                    if sv.id = dv.id && String.equal sname dname then Ok ()
                     else if sv.id = dv.id then begin
                       (match List.assoc_opt dname sv.entries with
                       | Some victim -> drop t victim

@@ -378,7 +378,7 @@ let execute ?(modify = fun (_ : int) -> ()) t ~ts (call : Nfs_proto.call) : Nfs_
             match List.assoc_opt sn sentries with
             | None -> R_err Enoent
             | Some child ->
-              if so.index = dd.index && sn = dn then R_ok
+              if so.index = dd.index && String.equal sn dn then R_ok
               else begin
                 let child_is_dir =
                   match t.slots.(child.index).obj with Directory _ -> true | _ -> false

@@ -113,7 +113,8 @@ let statfs t =
 
 let ok = function Ok v -> v | Error e -> failwith ("nfs error: " ^ err_to_string e)
 
-let split_path path = String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun s -> not (String.equal s ""))
 
 let resolve_path t path =
   match split_path path with

@@ -109,6 +109,8 @@ let max_name_len = 255
    hidden staging directory. *)
 let name_ok name =
   let len = String.length name in
-  len > 0 && len <= max_name_len && name <> "." && name <> ".."
+  len > 0 && len <= max_name_len
+  && (not (String.equal name "."))
+  && not (String.equal name "..")
   && (not (String.contains name '/'))
   && name.[0] <> '#'

@@ -36,7 +36,8 @@ let rec write b = function
   | Bool v -> Buffer.add_string b (if v then "true" else "false")
   | Int n -> Buffer.add_string b (string_of_int n)
   | Float f ->
-    if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string b "null"
+    if Float.is_nan f || Float.equal (Float.abs f) Float.infinity then
+      Buffer.add_string b "null"
     else Buffer.add_string b (float_str f)
   | Str s ->
     Buffer.add_char b '"';

@@ -74,7 +74,11 @@ let check_bounds bounds =
 let histogram ?(buckets = default_latency_buckets_us) t name =
   match Hashtbl.find_opt t name with
   | Some (Histogram h) ->
-    if h.h_bounds <> buckets then
+    if
+      not
+        (Array.length h.h_bounds = Array.length buckets
+        && Array.for_all2 Float.equal h.h_bounds buckets)
+    then
       invalid_arg (Printf.sprintf "Metrics: histogram %s re-registered with different buckets" name);
     h
   | Some m -> clash name m "histogram"
@@ -146,18 +150,18 @@ let quantile h q =
   end
 
 let reset t =
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.0
-      | Histogram h ->
-        Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-        h.h_count <- 0;
-        h.h_sum <- 0.0;
-        h.h_min <- Float.infinity;
-        h.h_max <- Float.neg_infinity)
-    t
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (_, m) ->
+         match m with
+         | Counter c -> c.c_value <- 0
+         | Gauge g -> g.g_value <- 0.0
+         | Histogram h ->
+           Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+           h.h_count <- 0;
+           h.h_sum <- 0.0;
+           h.h_min <- Float.infinity;
+           h.h_max <- Float.neg_infinity)
 
 let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t [] |> List.sort String.compare
 

@@ -191,9 +191,10 @@ let execute_call t ~modify ~ts (call : call) : reply =
             match s.token with
             | Some holder -> (
               match Oodb.get t.db holder with
-              | Some r when List.exists (fun (_, tgt) -> tgt = token) r.Oodb.refs ->
+              | Some r when List.exists (fun (_, tgt) -> String.equal tgt token) r.Oodb.refs ->
                 modify j;
-                r.Oodb.refs <- List.filter (fun (_, tgt) -> tgt <> token) r.Oodb.refs
+                r.Oodb.refs <-
+                  List.filter (fun (_, tgt) -> not (String.equal tgt token)) r.Oodb.refs
               | Some _ | None -> ())
             | None -> ())
           t.slots;

@@ -32,7 +32,7 @@ let float t bound =
   let r = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
   bound *. (r /. 9007199254740992.0 (* 2^53 *))
 
-let bool t = Int64.logand (next64 t) 1L = 1L
+let bool t = Int64.equal (Int64.logand (next64 t) 1L) 1L
 
 let bernoulli t p = float t 1.0 < p
 

@@ -28,7 +28,11 @@ let divergent_replicas sys =
       let k = Base_crypto.Digest_t.raw r in
       Hashtbl.replace counts k (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
     roots;
-  let majority = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  let tallies =
+    Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let majority = List.fold_left (fun acc (_, c) -> max c acc) 0 tallies in
   Array.length roots - majority
 
 (* --- E6: deterministic bug vs N-version programming -------------------------- *)
@@ -47,7 +51,7 @@ let poison_experiment ?(seed = 5L) ~hetero () =
   let buggy = ref 0 in
   Array.iteri
     (fun rid name ->
-      if name = "hash" then begin
+      if String.equal name "hash" then begin
         incr buggy;
         sys.Systems.servers.(rid).S.set_poison (Some "BUG")
       end)

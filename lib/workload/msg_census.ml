@@ -12,7 +12,7 @@ let create () = { counts = Hashtbl.create 16; sends = 0; installed = false }
 
 (* Trace lines look like "send  0->2 PRE-PREPARE(v=0,n=2) (180B)". *)
 let classify line =
-  if String.length line < 6 || String.sub line 0 5 <> "send " then None
+  if String.length line < 6 || not (String.equal (String.sub line 0 5) "send ") then None
   else begin
     match String.index_opt line '>' with
     | None -> None

@@ -373,7 +373,7 @@ let execute_call t ~modify ~ts (call : Proto.call) : Proto.reply =
               match Hashtbl.find_opt t.fh2oid cfh with
               | None -> bug "rename: handle for %s not in rep" sn
               | Some ci ->
-                if si = di && sn = dn then Proto.R_ok
+                if si = di && String.equal sn dn then Proto.R_ok
                 else begin
                   let child_is_dir = t.entries.(ci).ftype = Dir in
                   if child_is_dir && under t ~root:ci di then err Einval
@@ -560,7 +560,7 @@ let put_objs t objs =
             with
             | Error _ -> bug "create of %d failed" i
             | Ok (fh, _) ->
-              if data <> "" then begin
+              if not (String.equal data "") then begin
                 match t.server.S.write ~fh ~off:0 ~data with
                 | Ok () -> ()
                 | Error _ -> bug "write of %d failed" i
@@ -609,7 +609,7 @@ let put_objs t objs =
            with
           | Ok _ -> ()
           | Error _ -> bug "setattr of %d failed" i);
-          (if data <> "" then
+          (if not (String.equal data "") then
              match t.server.S.write ~fh ~off:0 ~data with
              | Ok () -> ()
              | Error _ -> bug "write of %d failed" i);
@@ -641,7 +641,7 @@ let put_objs t objs =
           match t.server.S.readlink ~fh with Ok x -> x | Error _ -> ""
         in
         let e = t.entries.(i) in
-        if current_target <> target then begin
+        if not (String.equal current_target target) then begin
           move_to_staging t i;
           let old = t.entries.(i) in
           (match t.server.S.remove ~dir:t.staging_fh ~name:old.name with
@@ -684,7 +684,7 @@ let put_objs t objs =
           (fun (name, o) ->
             let ce = t.entries.(o.index) in
             if ce.fh = None then bug "link-in: missing child %d for %s" o.index name;
-            if not (ce.parent = i && ce.name = name) then begin
+            if not (ce.parent = i && String.equal ce.name name) then begin
               (match
                  t.server.S.rename ~sdir:(location_fh t ce) ~sname:ce.name
                    ~ddir:(entry_fh t i) ~dname:name

@@ -1,21 +1,31 @@
 (* CLI driver for the basecheck lint.
 
-   Usage: basecheck [--root DIR] [--allowlist FILE] [--update] DIR...
+   Usage: basecheck [--root DIR] [--allowlist FILE] [--update] [--typed]
+                    [--cmt-root DIR] DIR...
 
    Scans every .ml under the given directories (relative to --root),
    prints non-allowlisted findings as "file:line: [RULE] message" and
    exits 1 if there are any.  --update regenerates the allowlist from the
    current findings (sorted by file then rule, justifications preserved)
-   so review diffs are stable. *)
+   so review diffs are stable.
+
+   --typed additionally runs the typed backend (Typed_checks) over the
+   .cmt files below --cmt-root (default: ROOT/_build/default when that
+   exists, else ROOT); build them first with `dune build @check`. *)
 
 module Checks = Basecheck_lib.Checks
+module Typed = Basecheck_lib.Typed_checks
 
-let usage = "usage: basecheck [--root DIR] [--allowlist FILE] [--update] DIR..."
+let usage =
+  "usage: basecheck [--root DIR] [--allowlist FILE] [--update] [--typed] [--cmt-root \
+   DIR] DIR..."
 
 let () =
   let root = ref "." in
   let allowlist_path = ref "lint/allowlist.sexp" in
   let update = ref false in
+  let typed = ref false in
+  let cmt_root = ref None in
   let dirs = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -28,7 +38,13 @@ let () =
     | "--update" :: rest ->
       update := true;
       parse_args rest
-    | ("--root" | "--allowlist") :: [] | "--help" :: _ ->
+    | "--typed" :: rest ->
+      typed := true;
+      parse_args rest
+    | "--cmt-root" :: d :: rest ->
+      cmt_root := Some d;
+      parse_args rest
+    | ("--root" | "--allowlist" | "--cmt-root") :: [] | "--help" :: _ ->
       prerr_endline usage;
       exit 2
     | d :: rest ->
@@ -46,7 +62,7 @@ let () =
     exit 2
   in
   let files = List.concat_map (Checks.ml_files ~root:!root) dirs in
-  let findings =
+  let syntactic_findings =
     List.concat_map
       (fun rel ->
         match Checks.check_file ~rel (Filename.concat !root rel) with
@@ -54,7 +70,33 @@ let () =
         | Error e -> fail e)
       files
   in
-  let findings = List.sort Checks.compare_finding findings in
+  let typed_findings =
+    if not !typed then []
+    else begin
+      let cmt_root =
+        match !cmt_root with
+        | Some d -> d
+        | None ->
+          let dflt = Filename.concat !root "_build/default" in
+          if Sys.file_exists dflt then dflt else !root
+      in
+      let findings, n_units = Typed.scan ~cmt_root ~dirs in
+      if n_units = 0 then
+        fail
+          (Printf.sprintf
+             "--typed: no .cmt files for %s under %s (run `dune build @check` first)"
+             (String.concat " " dirs) cmt_root);
+      if !Typed.env_failures > 0 then
+        Printf.eprintf
+          "basecheck: warning: %d expression environment(s) could not be \
+           reconstructed; typed findings may be incomplete\n"
+          !Typed.env_failures;
+      findings
+    end
+  in
+  let findings =
+    List.sort_uniq Checks.compare_finding (syntactic_findings @ typed_findings)
+  in
   if !update then begin
     let old =
       match Checks.load_allowlist !allowlist_path with Ok ws -> ws | Error e -> fail e

@@ -8,7 +8,7 @@
    allowlist policy.  Suppression is never inline: a waiver is a
    [(file, rule, justification)] entry in lint/allowlist.sexp. *)
 
-type rule = D1 | D2 | D3 | D4 | E1
+type rule = D1 | D2 | D3 | D4 | E1 | E2
 
 let rule_name = function
   | D1 -> "D1"
@@ -16,6 +16,7 @@ let rule_name = function
   | D3 -> "D3"
   | D4 -> "D4"
   | E1 -> "E1"
+  | E2 -> "E2"
 
 let rule_of_name = function
   | "D1" -> Some D1
@@ -23,9 +24,10 @@ let rule_of_name = function
   | "D3" -> Some D3
   | "D4" -> Some D4
   | "E1" -> Some E1
+  | "E2" -> Some E2
   | _ -> None
 
-let all_rules = [ D1; D2; D3; D4; E1 ]
+let all_rules = [ D1; D2; D3; D4; E1; E2 ]
 
 type finding = { file : string; line : int; rule : rule; msg : string }
 
@@ -56,6 +58,20 @@ let e1_applies rel =
   has_prefix ~prefix:"lib/bft/" rel
   || has_prefix ~prefix:"lib/base_core/" rel
   || has_prefix ~prefix:"lib/codec/" rel
+
+(* E2: discarded [Result] errors are banned in library code; executables
+   may deliberately drop results (e.g. warm-up runs). *)
+let e2_applies rel = has_prefix ~prefix:"lib/" rel
+
+(* Shared by the syntactic (Parsetree) and typed (Typedtree) backends so
+   the two passes agree on where each rule is in force. *)
+let rule_applies rule rel =
+  match rule with
+  | D1 | D3 -> true
+  | D2 -> d2_applies rel
+  | D4 -> d4_applies rel
+  | E1 -> e1_applies rel
+  | E2 -> e2_applies rel
 
 (* --- identifier helpers --------------------------------------------------- *)
 
@@ -93,14 +109,8 @@ type ctx = {
 }
 
 let flag ctx rule line msg =
-  let applies =
-    match rule with
-    | D1 | D3 -> true
-    | D2 -> d2_applies ctx.rel
-    | D4 -> d4_applies ctx.rel
-    | E1 -> e1_applies ctx.rel
-  in
-  if applies then ctx.findings <- { file = ctx.rel; line; rule; msg } :: ctx.findings
+  if rule_applies rule ctx.rel then
+    ctx.findings <- { file = ctx.rel; line; rule; msg } :: ctx.findings
 
 let line_of (loc : Location.t) = loc.loc_start.pos_lnum
 

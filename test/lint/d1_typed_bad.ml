@@ -1,0 +1,16 @@
+(* Typed-backend fixture: structural comparison on *variables* of
+   structured type.  Every operand here is a bare identifier, so the
+   syntactic D1 rule sees nothing; the typed backend flags each site from
+   the instantiation type.  Compiled to a .cmt by the lint_typed_fixtures
+   library (unlike the d*_bad.ml fixtures, which are only parsed). *)
+
+type entry = { key : int; value : string }
+
+(* D1-typed: (=) at a record type. *)
+let same_entry (a : entry) (b : entry) = a = b
+
+(* D1-typed: (<>) at a list type. *)
+let differ (xs : string list) (ys : string list) = xs <> ys
+
+(* D1-typed: polymorphic max at a record type. *)
+let newest (a : entry) (b : entry) = max a b

@@ -1,0 +1,162 @@
+(* Decode totality fuzzing: every byte string — random or a bit-flip away
+   from a valid encoding — must come back from the decoders as a value or
+   a typed error ([Result.Error] from [Message.decode_body], [Decode_error]
+   from the XDR readers), never as an uncaught exception.  An exception
+   here is a remote crash an attacker buys with one malformed packet, so
+   this suite is the semantic backstop behind the E1 lint rule.
+   Deterministic via [Base_util.Prng]; extends the byzantine-input suite. *)
+
+module M = Base_bft.Message
+module Xdr = Base_codec.Xdr
+module Prng = Base_util.Prng
+module Digest = Base_crypto.Digest_t
+
+let decode_total ~what raw =
+  match M.decode_body raw with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: decode_body raised %s on %s" what (Printexc.to_string e)
+      (Base_util.Hex.encode raw)
+
+(* One sample per message constructor, so bit flips explore every decoder
+   branch including the nested certificate lists. *)
+let sample_bodies : M.body list =
+  let d = Digest.of_string "fuzz" in
+  let req =
+    { M.client = 9; timestamp = 42L; operation = "op-payload"; read_only = false }
+  in
+  let pp =
+    { M.view = 1; seq = 7; digest = d; requests = [ req; M.null_request ]; nondet = "nd" }
+  in
+  [
+    M.Request req;
+    M.Pre_prepare pp;
+    M.Prepare { view = 1; seq = 7; digest = d; replica = 2 };
+    M.Commit { view = 1; seq = 7; digest = d; replica = 3 };
+    M.Reply { view = 1; timestamp = 42L; client = 9; replica = 0; result = "r" };
+    M.Checkpoint { seq = 20; digest = d; replica = 1 };
+    M.View_change
+      {
+        new_view = 2;
+        last_stable = 10;
+        stable_digest = d;
+        prepared =
+          [
+            {
+              pp_view = 1;
+              pp_seq = 11;
+              pp_digest = d;
+              pp_requests = [ req ];
+              pp_nondet = "n";
+            };
+          ];
+        replica = 2;
+      };
+    M.New_view
+      { nv_view = 2; nv_view_changes = [ (0, 10); (2, 10); (3, 8) ]; nv_pre_prepares = [ pp ] };
+    M.Status { st_view = 2; st_last_exec = 15; st_h = 10; st_replica = 1 };
+  ]
+
+let test_decode_random_bytes () =
+  let rng = Prng.create 0xF00DL in
+  for i = 1 to 2_000 do
+    let len = Prng.int rng 257 in
+    let raw = Bytes.to_string (Prng.bytes rng len) in
+    decode_total ~what:(Printf.sprintf "random #%d (len %d)" i len) raw
+  done
+
+let flip s i =
+  let b = Bytes.of_string s in
+  let byte = i / 8 in
+  Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl (i mod 8))));
+  Bytes.to_string b
+
+let test_decode_bit_flips () =
+  List.iter
+    (fun body ->
+      let valid = M.encode_body body in
+      (* The valid encoding itself must round-trip... *)
+      (match M.decode_body valid with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: valid encoding rejected: %s" (M.label body) e);
+      (* ...and every single-bit corruption must fail *cleanly*. *)
+      for i = 0 to (8 * String.length valid) - 1 do
+        decode_total ~what:(Printf.sprintf "%s bit %d" (M.label body) i) (flip valid i)
+      done;
+      (* Truncations and extensions, for every prefix length. *)
+      for n = 0 to String.length valid - 1 do
+        decode_total ~what:(Printf.sprintf "%s truncated to %d" (M.label body) n)
+          (String.sub valid 0 n)
+      done;
+      decode_total ~what:(M.label body ^ " with trailing junk") (valid ^ "\x01\x02\x03\x04"))
+    sample_bodies
+
+(* XDR readers: any outcome but a value or Decode_error is a bug. *)
+let xdr_total ~what f =
+  match f () with
+  | _ -> ()
+  | exception Xdr.Decode_error _ -> ()
+  | exception e -> Alcotest.failf "%s: raised %s" what (Printexc.to_string e)
+
+let xdr_readers : (string * (Xdr.decoder -> unit)) list =
+  [
+    ("u32", fun d -> ignore (Xdr.read_u32 d));
+    ("i64", fun d -> ignore (Xdr.read_i64 d));
+    ("bool", fun d -> ignore (Xdr.read_bool d));
+    ("opaque", fun d -> ignore (Xdr.read_opaque d));
+    ("str", fun d -> ignore (Xdr.read_str d));
+    ("list-u32", fun d -> ignore (Xdr.read_list d Xdr.read_u32));
+    ("list-str", fun d -> ignore (Xdr.read_list d Xdr.read_str));
+    ("option-i64", fun d -> ignore (Xdr.read_option d Xdr.read_i64));
+    ( "record",
+      fun d ->
+        ignore (Xdr.read_u32 d);
+        ignore (Xdr.read_str d);
+        ignore (Xdr.read_bool d);
+        Xdr.expect_end d );
+  ]
+
+let test_xdr_random_bytes () =
+  let rng = Prng.create 0xBEEFL in
+  for i = 1 to 1_000 do
+    let len = Prng.int rng 129 in
+    let raw = Bytes.to_string (Prng.bytes rng len) in
+    List.iter
+      (fun (name, reader) ->
+        xdr_total
+          ~what:(Printf.sprintf "xdr %s on random #%d (len %d)" name i len)
+          (fun () -> reader (Xdr.decoder raw)))
+      xdr_readers
+  done
+
+let test_xdr_bit_flips () =
+  (* A structurally valid multi-field encoding, then every 1-bit
+     corruption of it against every reader. *)
+  let e = Xdr.encoder () in
+  Xdr.u32 e 3;
+  Xdr.str e "name";
+  Xdr.bool e true;
+  Xdr.list e Xdr.u32 [ 1; 2; 3 ];
+  Xdr.option e Xdr.i64 (Some 99L);
+  Xdr.opaque e "opaque-data";
+  let valid = Xdr.contents e in
+  for i = 0 to (8 * String.length valid) - 1 do
+    let raw = flip valid i in
+    List.iter
+      (fun (name, reader) ->
+        xdr_total
+          ~what:(Printf.sprintf "xdr %s on bit-flip %d" name i)
+          (fun () -> reader (Xdr.decoder raw)))
+      xdr_readers
+  done
+
+let suite =
+  [
+    Alcotest.test_case "decode_body: random bytes are total" `Quick
+      test_decode_random_bytes;
+    Alcotest.test_case "decode_body: bit flips / truncation are total" `Quick
+      test_decode_bit_flips;
+    Alcotest.test_case "xdr readers: random bytes are total" `Quick
+      test_xdr_random_bytes;
+    Alcotest.test_case "xdr readers: bit flips are total" `Quick test_xdr_bit_flips;
+  ]

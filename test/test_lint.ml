@@ -4,12 +4,20 @@
    are parsed but never compiled. *)
 
 module C = Basecheck_lib.Checks
+module Typed = Basecheck_lib.Typed_checks
 
 (* Fixtures sit next to the test executable; fall back to cwd so the suite
    also runs from the source tree. *)
 let fixture name =
   let local = Filename.concat (Filename.dirname Sys.executable_name) "lint" in
   Filename.concat (if Sys.file_exists local then local else "lint") name
+
+(* The compiled fixtures' .cmt files, produced by the lint_typed_fixtures
+   library in test/lint. *)
+let fixture_cmt name =
+  Filename.concat
+    (Filename.concat (Filename.dirname (fixture "x")) ".lint_typed_fixtures.objs/byte")
+    ("lint_typed_fixtures__" ^ String.capitalize_ascii name ^ ".cmt")
 
 let findings path rel =
   match C.check_file ~rel path with
@@ -59,6 +67,37 @@ let test_finding_format () =
       && Base_util.Str_contains.contains s "[D3]")
   | [] -> Alcotest.fail "expected findings in d3_bad.ml"
 
+let typed_findings name rel =
+  match Typed.check_cmt ~rel (fixture_cmt name) with
+  | Error e -> Alcotest.failf "%s: %s" name e
+  | Ok fs -> fs
+
+(* The two documented blind spots of the syntactic pass, each proven
+   closed: the fixture is clean under one backend and flagged under the
+   other. *)
+let test_typed_d1_blind_spot () =
+  let rel = "lib/bft/d1_typed_bad.ml" in
+  Alcotest.(check (list string))
+    "syntactic pass is blind to (=) on structured variables" []
+    (rule_ids (findings (fixture "d1_typed_bad.ml") rel));
+  let fs = typed_findings "d1_typed_bad" rel in
+  Alcotest.(check (list string)) "typed pass flags only D1" [ "D1" ] (rule_ids fs);
+  Alcotest.(check int) "one finding per comparison site" 3 (List.length fs)
+
+let test_typed_d3_cross_item_sort () =
+  let rel = "lib/bft/d3_typed_ok.ml" in
+  Alcotest.(check (list string))
+    "syntactic pass false-positives on the cross-item helper" [ "D3" ]
+    (rule_ids (findings (fixture "d3_typed_ok.ml") rel));
+  Alcotest.(check (list string))
+    "typed pass resolves the helper and accepts" []
+    (rule_ids (typed_findings "d3_typed_ok" rel))
+
+let test_typed_env_reconstruction () =
+  (* A weakened typed run (unreconstructable environments) must not pass
+     silently; the fixture units reconstruct fully. *)
+  Alcotest.(check int) "no environment failures" 0 !Typed.env_failures
+
 let test_allowlist_roundtrip () =
   let tmp = Filename.temp_file "allowlist" ".sexp" in
   let ws =
@@ -82,5 +121,11 @@ let suite =
     Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
     Alcotest.test_case "rule scoping" `Quick test_rule_scoping;
     Alcotest.test_case "finding format" `Quick test_finding_format;
+    Alcotest.test_case "typed: D1 on structured variables" `Quick
+      test_typed_d1_blind_spot;
+    Alcotest.test_case "typed: D3 cross-item sort helper" `Quick
+      test_typed_d3_cross_item_sort;
+    Alcotest.test_case "typed: environments reconstruct" `Quick
+      test_typed_env_reconstruction;
     Alcotest.test_case "allowlist round-trip" `Quick test_allowlist_roundtrip;
   ]

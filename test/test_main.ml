@@ -5,12 +5,13 @@ let () =
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
       ("state-transfer", Test_state_transfer.suite);
+      ("partition-tree", Test_partition_tree_prop.suite);
       ("nfs-model", Test_nfs_model.suite);
       ("oodb", Test_oodb.suite);
       ("bft", Test_bft.suite);
       ("client", Test_client.suite);
       ("bft-wire", Test_bft_wire.suite);
-      ("byzantine-input", Test_byzantine_input.suite);
+      ("byzantine-input", Test_byzantine_input.suite @ Test_fuzz_decode.suite);
       ("determinism", Test_determinism.suite);
       ("faultplan", Test_faultplan.suite);
       ("view-change", Test_view_change.suite);
@@ -18,6 +19,7 @@ let () =
       ("batching", Test_batching.suite);
       ("stack", Test_stack.suite);
       ("conformance", Test_conformance.suite);
+      ("cross-backend-digest", Test_cross_backend_digest.suite);
       ("wrapper-edge", Test_wrapper_edge.suite);
       ("recovery", Test_recovery.suite);
       ("workload", Test_workload.suite);
