@@ -300,20 +300,24 @@ let synthetic_repo ~n_objects ~obj_bytes ~seed =
       check_nondet = (fun ~clock_us:_ ~operation:_ ~nondet:_ -> true);
     }
   in
-  (store, Objrepo.create ~wrapper ~branching:16)
+  (store, Objrepo.create ~wrapper ~branching:16 ())
 
-(* Drive a fetch to completion over a direct in-process "network". *)
+(* Drive a fetch to completion over a direct in-process "network" with a
+   single source replica. *)
 let run_transfer ~src ~dst ~target_seq ~target_digest =
   let q = Queue.create () in
   let completed = ref false in
   let fetcher =
-    St.start ~repo:dst ~target_seq ~target_digest
-      ~send:(fun m -> Queue.add m q)
+    St.start ~repo:dst ~sources:[ 0 ] ~target_seq ~target_digest
+      ~send:(fun ~dst:_ m -> Queue.add m q)
       ~on_complete:(fun ~seq:_ ~app_root:_ ~client_rows:_ -> completed := true)
+      ()
   in
   while not (Queue.is_empty q) do
     let m = Queue.pop q in
-    match St.serve src m with Some reply -> St.handle_reply fetcher reply | None -> ()
+    match St.serve src m with
+    | Some reply -> St.handle_reply fetcher ~from:0 reply
+    | None -> ()
   done;
   assert !completed;
   St.stats fetcher
@@ -523,7 +527,7 @@ let bless id report = blessed := (id, report) :: !blessed
 
 let write_blessed () =
   let have id = List.mem_assoc id !blessed in
-  if have "e12" && have "e13" then begin
+  if have "e12" && have "e13" && have "e14" then begin
     let json = Base_obs.Json.to_string_pretty (Base_obs.Json.obj !blessed) ^ "\n" in
     let path = "BENCH_metrics.json" in
     let oc = open_out path in
@@ -638,6 +642,163 @@ let e13 () =
      else "MISMATCH");
   bless "e13" report
 
+(* --- E14: recovery under load with the pipelined state transfer --------------------- *)
+
+(* One seeded recovery-under-load episode.  A client lays down a few dozen
+   files and, after a checkpoint boundary, overwrites most of them — so the
+   recovering replica's state has moved past the last certified checkpoint
+   and those objects must roll back to it.  Replica 1 then goes through
+   proactive recovery while a second client keeps writing in the
+   background; the episode ends when the recovery fetch completes.
+   [st_window = 1] degenerates the fetcher to the old serial
+   one-request-at-a-time behaviour — the control the pipelined run is
+   compared against.  The deliberately small leaf cache means only the most
+   recently rolled-back objects hit it; the rest are fetched over the
+   network, striped across the three live sources. *)
+let e14_files = 32
+
+let e14_run ~st_window seed =
+  let sys =
+    Systems.make_basefs ~seed ~hetero:true ~checkpoint_period:64 ~n_clients:2 ~st_window
+      ~st_cache_objs:8 ()
+  in
+  let rt = sys.Systems.runtime in
+  let engine = Runtime.engine rt in
+  let nfs = nfs_of rt ~client:0 in
+  (* Phase 1 (~65 requests, crossing the k=64 checkpoint boundary): create
+     the working set — each file holds ~6 KB, larger than one 4 KB chunk. *)
+  let files =
+    List.init e14_files (fun i ->
+        let fh, _ = C.ok (C.create nfs root_oid (Printf.sprintf "f%02d" i) sattr_empty) in
+        ignore (C.ok (C.write nfs fh ~off:0 (String.make 6000 'a')));
+        fh)
+  in
+  (* Phase 2: overwrite most files past the certified checkpoint.  The
+     modify upcall records each file's checkpointed value in the leaf
+     cache as it is first dirtied. *)
+  List.iteri
+    (fun i fh ->
+      if i < 24 then ignore (C.ok (C.write nfs fh ~off:2048 (String.make 300 'z'))))
+    files;
+  (* Phase 3: background load for the whole recovery — client 1 keeps
+     dirtying its own files so the fetch happens on a moving, loaded
+     system. *)
+  let nfs1 = nfs_of rt ~client:1 in
+  let g, _ = C.ok (C.create nfs1 root_oid "bg" sattr_empty) in
+  let stop_load = ref false in
+  let tick = ref 0 in
+  let rec issue () =
+    if not !stop_load then begin
+      incr tick;
+      Runtime.invoke rt ~client:1
+        ~operation:
+          (Base_nfs.Nfs_proto.encode_call
+             (Base_nfs.Nfs_proto.Write (g, !tick mod 8 * 700, String.make 256 'b')))
+        (fun _ -> issue ())
+    end
+  in
+  issue ();
+  (* A short reboot: the group executes only a handful of requests while
+     the replica is down, so the certified checkpoint it targets is still
+     held by the sources when the fetch starts. *)
+  Runtime.recover_now ~reboot_us:5_000 rt 1;
+  let fetched () =
+    List.exists
+      (fun tl -> tl.Runtime.tl_rid = 1 && Int64.compare tl.Runtime.tl_fetch_done_us 0L >= 0)
+      (Runtime.recovery_timelines rt)
+  in
+  let events = ref 0 in
+  while (not (fetched ())) && !events < 3_000_000 && Engine.step engine do
+    incr events
+  done;
+  assert (fetched ());
+  stop_load := true;
+  Runtime.run_until_idle rt;
+  rt
+
+let e14_rebuild_us rt =
+  List.find_map
+    (fun tl ->
+      if tl.Runtime.tl_rid = 1 && Int64.compare tl.Runtime.tl_fetch_done_us 0L >= 0 then
+        Some (Int64.to_int (Int64.sub tl.Runtime.tl_fetch_done_us tl.Runtime.tl_reboot_done_us))
+      else None)
+    (Runtime.recovery_timelines rt)
+  |> Option.get
+
+let e14_report rt =
+  let open Base_obs.Json in
+  let m = Runtime.metrics rt in
+  let cnt name = Base_obs.Metrics.counter_value (Base_obs.Metrics.counter m name) in
+  let st = Runtime.st_totals rt in
+  let sources = List.filter (fun r -> r <> 1) (Base_bft.Types.replica_ids (Runtime.config rt)) in
+  obj
+    [
+      ("bytes_fetched", Int st.St.bytes_fetched);
+      ("cache_hits", Int st.St.cache_hits);
+      ("chunks_fetched", Int st.St.chunks_fetched);
+      ("meta_fetched", Int st.St.meta_fetched);
+      ("objects_fetched", Int st.St.objects_fetched);
+      ( "peak_inflight",
+        Int
+          (int_of_float
+             (Base_obs.Metrics.gauge_value (Base_obs.Metrics.gauge m "base.st.inflight"))) );
+      ("quarantines", Int st.St.quarantines);
+      ("rebuild_us", Int (e14_rebuild_us rt));
+      ( "source_bytes",
+        obj
+          (List.map
+             (fun rid ->
+               (string_of_int rid, Int (cnt (Printf.sprintf "base.st.source_bytes.%d" rid))))
+             sources) );
+    ]
+
+let e14 () =
+  section "E14" "recovery under load: windowed load-spread fetch vs serial control";
+  let seed = 31L in
+  let rt = e14_run ~st_window:8 seed in
+  let rt1 = e14_run ~st_window:1 seed in
+  let report = e14_report rt in
+  let report1 = e14_report rt1 in
+  let show label rt =
+    let st = Runtime.st_totals rt in
+    let m = Runtime.metrics rt in
+    let cnt name = Base_obs.Metrics.counter_value (Base_obs.Metrics.counter m name) in
+    Printf.printf
+      "  %-18s rebuild %7.1f ms  objs %4d  bytes %7d  cache-hits %3d  inflight-peak %2.0f\n"
+      label
+      (float_of_int (e14_rebuild_us rt) /. 1e3)
+      st.St.objects_fetched st.St.bytes_fetched st.St.cache_hits
+      (Base_obs.Metrics.gauge_value (Base_obs.Metrics.gauge m "base.st.inflight"));
+    Printf.printf "  %-18s bytes per source:" "";
+    List.iter
+      (fun rid ->
+        Printf.printf " r%d=%d" rid (cnt (Printf.sprintf "base.st.source_bytes.%d" rid)))
+      (List.filter (fun r -> r <> 1) (Base_bft.Types.replica_ids (Runtime.config rt)));
+    Printf.printf "\n"
+  in
+  show "pipelined (w=8)" rt;
+  show "serial (w=1)" rt1;
+  let fast = e14_rebuild_us rt and slow = e14_rebuild_us rt1 in
+  Printf.printf "\n  rebuild speedup vs serial control: %.2fx\n"
+    (float_of_int slow /. float_of_int fast);
+  (* The acceptance criteria: the pipeline spreads load over several
+     sources, reuses cached leaves, and beats the serial fetcher. *)
+  let st = Runtime.st_totals rt in
+  assert (st.St.cache_hits > 0);
+  let m = Runtime.metrics rt in
+  let busy_sources =
+    List.filter
+      (fun rid ->
+        rid <> 1
+        && Base_obs.Metrics.counter_value
+             (Base_obs.Metrics.counter m (Printf.sprintf "base.st.source_bytes.%d" rid))
+           > 0)
+      (Base_bft.Types.replica_ids (Runtime.config rt))
+  in
+  assert (List.length busy_sources >= 2);
+  assert (fast < slow);
+  bless "e14" (Base_obs.Json.obj [ ("pipelined", report); ("window1", report1) ])
+
 (* --- driver ------------------------------------------------------------------------ *)
 
 let experiments =
@@ -657,6 +818,7 @@ let experiments =
     ("E11", e11);
     ("E12", e12);
     ("E13", e13);
+    ("E14", e14);
   ]
 
 let () =

@@ -19,6 +19,18 @@ type t = {
   dirty : (int, unit) Hashtbl.t;
   mutable cps : checkpoint list;  (* oldest first *)
   stats : cow_stats;
+  (* Digest-keyed leaf cache: object values this replica has held before,
+     keyed by the raw leaf digest (which covers the object index, so an
+     entry can only ever hit on the object it was cached for).  Entries are
+     inserted on copy-on-write [modify] (the pre-modification value under
+     its pre-modification digest) and on [install] (fetched values), and
+     evicted FIFO at [cache_cap].  State transfer consults it so a
+     certified leaf whose value passed through this replica — the common
+     case when proactive recovery rolls a loaded replica back to the last
+     certified checkpoint — installs without a network fetch. *)
+  cache : (string, string) Hashtbl.t;
+  cache_fifo : string Queue.t;
+  cache_cap : int;
 }
 
 let refresh_leaf t i =
@@ -26,7 +38,7 @@ let refresh_leaf t i =
   Partition_tree.set_leaf t.tree i (Service.object_digest i data);
   t.stats.digests_recomputed <- t.stats.digests_recomputed + 1
 
-let create ~wrapper ~branching =
+let create ?(cache_objs = 256) ~wrapper ~branching () =
   let t =
     {
       wrapper;
@@ -34,6 +46,9 @@ let create ~wrapper ~branching =
       dirty = Hashtbl.create 64;
       cps = [];
       stats = { objects_copied = 0; bytes_copied = 0; digests_recomputed = 0 };
+      cache = Hashtbl.create 64;
+      cache_fifo = Queue.create ();
+      cache_cap = max 0 cache_objs;
     }
   in
   for i = 0 to wrapper.Service.n_objects - 1 do
@@ -45,8 +60,32 @@ let wrapper t = t.wrapper
 
 let n_objects t = t.wrapper.Service.n_objects
 
-let modify t i =
-  if i < 0 || i >= n_objects t then invalid_arg "Objrepo.modify: bad object index";
+let cache_put t digest data =
+  if t.cache_cap > 0 then begin
+    let k = Digest.raw digest in
+    if not (Hashtbl.mem t.cache k) then begin
+      Hashtbl.replace t.cache k data;
+      Queue.add k t.cache_fifo;
+      if Queue.length t.cache_fifo > t.cache_cap then
+        Hashtbl.remove t.cache (Queue.pop t.cache_fifo)
+    end
+  end
+
+let cache_find t digest = Hashtbl.find_opt t.cache (Digest.raw digest)
+
+let cache_length t = Hashtbl.length t.cache
+
+(* Preserve the current value of object [i] before it is overwritten —
+   by an execution upcall ([modify]) or a state-transfer install alike.
+   Every checkpoint snapshot without its own copy of [i] reads through to
+   the current value, so it needs a copy now; and the value goes into the
+   leaf cache under its pre-overwrite digest — but only while the tree
+   leaf is clean, because a dirty leaf's digest no longer describes the
+   current value.  This is what lets a later state transfer roll this
+   object back to a checkpointed value without refetching it. *)
+let preserve_current t i =
+  if t.cache_cap > 0 && not (Hashtbl.mem t.dirty i) then
+    cache_put t (Partition_tree.leaf t.tree i) (t.wrapper.Service.get_obj i);
   List.iter
     (fun cp ->
       if not (Hashtbl.mem cp.copies i) then begin
@@ -55,7 +94,11 @@ let modify t i =
         t.stats.objects_copied <- t.stats.objects_copied + 1;
         t.stats.bytes_copied <- t.stats.bytes_copied + String.length v
       end)
-    t.cps;
+    t.cps
+
+let modify t i =
+  if i < 0 || i >= n_objects t then invalid_arg "Objrepo.modify: bad object index";
+  preserve_current t i;
   Hashtbl.replace t.dirty i ()
 
 let flush_dirty t =
@@ -70,8 +113,13 @@ let take_checkpoint t ~seq ~client_rows =
     { seq; tree = Partition_tree.copy t.tree; copies = Hashtbl.create 16; client_rows }
   in
   (* Replace any previous checkpoint at the same seqno (re-checkpointing
-     after a state transfer lands on an already-known boundary). *)
-  t.cps <- List.filter (fun cp -> cp.seq <> seq) t.cps @ [ snapshot ];
+     after a state transfer lands on an already-known boundary) and keep the
+     list sorted: a rollback transfer can register a checkpoint older than
+     ones already held. *)
+  t.cps <-
+    List.sort
+      (fun a b -> Int.compare a.seq b.seq)
+      (snapshot :: List.filter (fun cp -> cp.seq <> seq) t.cps);
   Partition_tree.root snapshot.tree
 
 let discard_below t seq = t.cps <- List.filter (fun cp -> cp.seq >= seq) t.cps
@@ -95,8 +143,20 @@ let current_tree t =
 let current_root t = Partition_tree.root (current_tree t)
 
 let install t objs =
+  (* A rollback install overwrites values that existing snapshots (taken at
+     higher seqnos, still served to other fetchers) read through to: save
+     those copies first, exactly as [modify] would, or the install silently
+     corrupts every snapshot without its own copy. *)
+  List.iter (fun (i, _) -> preserve_current t i) objs;
   t.wrapper.Service.put_objs objs;
-  List.iter (fun (i, data) -> Partition_tree.set_leaf t.tree i (Service.object_digest i data)) objs;
+  List.iter
+    (fun (i, data) ->
+      let d = Service.object_digest i data in
+      Partition_tree.set_leaf t.tree i d;
+      (* Fetched values go straight into the leaf cache: a later recovery
+         that needs this same certified value again skips the refetch. *)
+      cache_put t d data)
+    objs;
   List.iter (fun (i, _) -> Hashtbl.remove t.dirty i) objs
 
 let rebuild_all_digests t =

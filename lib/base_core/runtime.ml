@@ -47,6 +47,8 @@ type replica_node = {
   wrapper : Service.wrapper;
   mutable fetcher : State_transfer.t option;
   mutable st_retries : int;
+  mutable st_progress : int;
+  mutable st_stalled : int;
   mutable recovering : bool;
   recovery_stats : recovery_stats;
   mutable timeline : recovery_timeline option;
@@ -118,10 +120,7 @@ let trace_event t name attrs = Base_obs.Trace.event t.trace ~ts:(now t) ~name at
 
 (* --- state-transfer plumbing --------------------------------------------- *)
 
-let st_broadcast t ~src body =
-  for r = 0 to t.config.n - 1 do
-    if r <> src then Engine.send t.engine ~src ~dst:r (St { from = src; body })
-  done
+let st_send t ~src ~dst body = Engine.send t.engine ~src ~dst (St { from = src; body })
 
 let st_retry_period_us = 200_000
 
@@ -161,9 +160,20 @@ let retarget_fetch t node ~reason =
 (* Forward declaration hack: replica creation needs an app record whose
    closures refer to the node being created. *)
 let start_fetch t node ~seq ~digest =
+  let params =
+    {
+      State_transfer.default_params with
+      State_transfer.window = t.config.Types.st_window;
+      chunk_bytes = t.config.Types.st_chunk_bytes;
+    }
+  in
+  let sources = List.filter (fun r -> r <> node.rid) (Types.replica_ids t.config) in
   let fetcher =
-    State_transfer.start ~repo:node.repo ~target_seq:seq ~target_digest:digest
-      ~send:(fun body -> st_broadcast t ~src:node.rid body)
+    State_transfer.start ~params
+      ~trace:(fun line ->
+        trace_event t "st.debug" [ ("line", line); ("rid", string_of_int node.rid) ])
+      ~repo:node.repo ~sources ~target_seq:seq ~target_digest:digest
+      ~send:(fun ~dst body -> st_send t ~src:node.rid ~dst body)
       ~on_complete:(fun ~seq ~app_root ~client_rows ->
         node.fetcher <- None;
         (* Register the transferred checkpoint so this replica can serve it,
@@ -183,11 +193,14 @@ let start_fetch t node ~seq ~digest =
           close_timeline t node;
           Replica.fetch_complete node.replica ~seq ~app_digest:app_root ~client_rows
         end)
+      ()
   in
   if State_transfer.finished fetcher then ()
   else begin
     node.fetcher <- Some fetcher;
     node.st_retries <- 0;
+    node.st_progress <- 0;
+    node.st_stalled <- 0;
     ignore
       (Engine.set_timer t.engine ~node:node.rid ~after:(Sim_time.of_us st_retry_period_us)
          ~tag:"st_retry" ~payload:0)
@@ -206,10 +219,22 @@ let handle_st t node ~from body =
       let bytes_before = st.State_transfer.bytes_fetched in
       let objs_before = st.State_transfer.objects_fetched in
       let meta_before = st.State_transfer.meta_fetched in
+      let chunks_before = st.State_transfer.chunks_fetched in
+      let cache_before = st.State_transfer.cache_hits in
+      let quar_before = st.State_transfer.quarantines in
       let heads_rej_before = st.State_transfer.heads_rejected in
       let meta_rej_before = st.State_transfer.meta_rejected in
       let objs_rej_before = st.State_transfer.objects_rejected in
-      State_transfer.handle_reply fetcher body;
+      let source_entry =
+        Array.fold_left
+          (fun acc s -> if s.State_transfer.src_id = from then Some s else acc)
+          None
+          (State_transfer.scoreboard fetcher)
+      in
+      let src_bytes_before =
+        match source_entry with Some s -> s.State_transfer.bytes | None -> 0
+      in
+      State_transfer.handle_reply fetcher ~from body;
       let bytes_delta = st.State_transfer.bytes_fetched - bytes_before in
       let objs_delta = st.State_transfer.objects_fetched - objs_before in
       node.recovery_stats.total_bytes_fetched <-
@@ -225,6 +250,12 @@ let handle_st t node ~from body =
       tot.State_transfer.objects_fetched <- tot.State_transfer.objects_fetched + objs_delta;
       tot.State_transfer.meta_fetched <-
         tot.State_transfer.meta_fetched + (st.State_transfer.meta_fetched - meta_before);
+      tot.State_transfer.chunks_fetched <-
+        tot.State_transfer.chunks_fetched + (st.State_transfer.chunks_fetched - chunks_before);
+      tot.State_transfer.cache_hits <-
+        tot.State_transfer.cache_hits + (st.State_transfer.cache_hits - cache_before);
+      tot.State_transfer.quarantines <-
+        tot.State_transfer.quarantines + (st.State_transfer.quarantines - quar_before);
       tot.State_transfer.heads_rejected <-
         tot.State_transfer.heads_rejected + (st.State_transfer.heads_rejected - heads_rej_before);
       tot.State_transfer.meta_rejected <-
@@ -232,6 +263,24 @@ let handle_st t node ~from body =
       tot.State_transfer.objects_rejected <-
         tot.State_transfer.objects_rejected
         + (st.State_transfer.objects_rejected - objs_rej_before);
+      Base_obs.Metrics.set_max
+        (Base_obs.Metrics.gauge t.metrics "base.st.inflight")
+        (float_of_int (State_transfer.inflight fetcher));
+      let cache_delta = st.State_transfer.cache_hits - cache_before in
+      if cache_delta > 0 then
+        Base_obs.Metrics.incr ~by:cache_delta
+          (Base_obs.Metrics.counter t.metrics "base.st.cache_hits");
+      let quar_delta = st.State_transfer.quarantines - quar_before in
+      if quar_delta > 0 then
+        Base_obs.Metrics.incr ~by:quar_delta
+          (Base_obs.Metrics.counter t.metrics "base.st.source_quarantined");
+      (match source_entry with
+      | Some s when s.State_transfer.bytes > src_bytes_before ->
+        Base_obs.Metrics.incr
+          ~by:(s.State_transfer.bytes - src_bytes_before)
+          (Base_obs.Metrics.counter t.metrics
+             (Printf.sprintf "base.st.source_bytes.%d" from))
+      | Some _ | None -> ());
       if State_transfer.rejected st > heads_rej_before + meta_rej_before + objs_rej_before
       then begin
         trace_event t "st.reject"
@@ -313,7 +362,18 @@ let exec_fault t (ev : Faultplan.event) =
   | Faultplan.Reboot n ->
     Engine.set_node_up t.engine n true;
     (* A rebooted replica lost its pending timers with the crash; re-arm. *)
-    if n < t.config.Types.n then Replica.on_reboot t.replicas.(n).replica;
+    if n < t.config.Types.n then begin
+      let node = t.replicas.(n) in
+      Replica.on_reboot node.replica;
+      (* The st_retry chain is a runtime-level timer, so it died with the
+         crash too.  A fetch that was in flight would otherwise sit wedged
+         forever (status Fetching, no retries, no retarget) — restart it
+         against the freshest certified checkpoint. *)
+      match node.fetcher with
+      | Some fetcher when not (State_transfer.finished fetcher) ->
+        retarget_fetch t node ~reason:"reboot"
+      | Some _ | None -> ()
+    end;
     trace_event t "fault.reboot" [ ("rid", string_of_int n) ]
   | Faultplan.Partition (a, b) ->
     Engine.partition t.engine a b;
@@ -495,7 +555,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
   in
   let make_replica rid =
     let wrapper = make_wrapper rid in
-    let repo = Objrepo.create ~wrapper ~branching in
+    let repo = Objrepo.create ~cache_objs:config.Types.st_cache_objs ~wrapper ~branching () in
     let node_lazy () =
       match replica_cells.(rid) with
       | Some node -> node
@@ -543,6 +603,8 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
         wrapper;
         fetcher = None;
         st_retries = 0;
+        st_progress = 0;
+        st_stalled = 0;
         recovering = false;
         recovery_stats =
           {
@@ -593,7 +655,10 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
           State_transfer.meta_fetched = 0;
           objects_fetched = 0;
           bytes_fetched = 0;
+          chunks_fetched = 0;
+          cache_hits = 0;
           retries = 0;
+          quarantines = 0;
           heads_rejected = 0;
           meta_rejected = 0;
           objects_rejected = 0;
@@ -624,14 +689,40 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
             match node.fetcher with
             | Some fetcher when not (State_transfer.finished fetcher) ->
               node.st_retries <- node.st_retries + 1;
+              (* Progress detection: a fetch whose counters have not moved
+                 for several consecutive rounds is talking to replicas that
+                 no longer hold the target (garbage-collected under load) —
+                 re-target quickly rather than sitting out the full retry
+                 budget against a dead checkpoint. *)
+              let st0 = State_transfer.stats fetcher in
+              let progress =
+                st0.State_transfer.meta_fetched + st0.State_transfer.objects_fetched
+                + st0.State_transfer.chunks_fetched + st0.State_transfer.cache_hits
+                + st0.State_transfer.bytes_fetched
+              in
+              if progress = node.st_progress then node.st_stalled <- node.st_stalled + 1
+              else begin
+                node.st_progress <- progress;
+                node.st_stalled <- 0
+              end;
               if node.st_retries > 8 then
                 (* The target checkpoint was probably garbage-collected by
                    the group while we fetched; restart against the freshest
                    certified checkpoint. *)
                 retarget_fetch t node ~reason:"timeout"
+              else if node.st_stalled >= 3 then retarget_fetch t node ~reason:"stalled"
               else begin
+                let st = State_transfer.stats fetcher in
+                let quar_before = st.State_transfer.quarantines in
                 State_transfer.retry fetcher;
                 t.st_totals.State_transfer.retries <- t.st_totals.State_transfer.retries + 1;
+                let quar_delta = st.State_transfer.quarantines - quar_before in
+                if quar_delta > 0 then begin
+                  t.st_totals.State_transfer.quarantines <-
+                    t.st_totals.State_transfer.quarantines + quar_delta;
+                  Base_obs.Metrics.incr ~by:quar_delta
+                    (Base_obs.Metrics.counter t.metrics "base.st.source_quarantined")
+                end;
                 trace_event t "st.retry"
                   [ ("attempt", string_of_int node.st_retries);
                     ("rid", string_of_int node.rid) ];
@@ -754,11 +845,14 @@ let metrics_report t =
         obj
           [
             ("bytes_fetched", Int st.State_transfer.bytes_fetched);
+            ("cache_hits", Int st.State_transfer.cache_hits);
+            ("chunks_fetched", Int st.State_transfer.chunks_fetched);
             ("heads_rejected", Int st.State_transfer.heads_rejected);
             ("meta_fetched", Int st.State_transfer.meta_fetched);
             ("meta_rejected", Int st.State_transfer.meta_rejected);
             ("objects_fetched", Int st.State_transfer.objects_fetched);
             ("objects_rejected", Int st.State_transfer.objects_rejected);
+            ("quarantines", Int st.State_transfer.quarantines);
             ("rejected", Int (State_transfer.rejected st));
             ("retries", Int st.State_transfer.retries);
           ] );

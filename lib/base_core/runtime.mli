@@ -56,6 +56,11 @@ type replica_node = {
   wrapper : Service.wrapper;
   mutable fetcher : State_transfer.t option;
   mutable st_retries : int;  (** retries of the current fetch before re-targeting *)
+  mutable st_progress : int;
+      (** progress mark (sum of fetch counters) at the last retry round *)
+  mutable st_stalled : int;
+      (** consecutive retry rounds without progress; 3 triggers an early
+          re-target (the target was likely garbage-collected under load) *)
   mutable recovering : bool;
   recovery_stats : recovery_stats;
   mutable timeline : recovery_timeline option;
@@ -78,7 +83,9 @@ val create :
   t
 (** [make_wrapper i] supplies the conformance wrapper run by replica [i] —
     pass different implementations for opportunistic N-version programming.
-    [branching] is the partition-tree fan-out (default 16). *)
+    [branching] is the partition-tree fan-out (default 16).  Each replica's
+    {!Objrepo} leaf cache is sized by [config.st_cache_objs], and its
+    state-transfer pipeline by [config.st_window] / [config.st_chunk_bytes]. *)
 
 val engine : t -> msg Base_sim.Engine.t
 
@@ -172,11 +179,16 @@ val enable_net_trace : t -> unit
 val metrics : t -> Base_obs.Metrics.t
 (** The system-wide registry: per-phase replica histograms
     ([bft.phase.*_us], [bft.view_change_us], [bft.checkpoint_interval_us])
-    aggregated across the whole group. *)
+    aggregated across the whole group, plus the state-transfer pipeline
+    series — [base.st.inflight] (peak requests in flight),
+    [base.st.cache_hits], [base.st.source_quarantined] and the per-source
+    load-spread counters [base.st.source_bytes.<rid>]. *)
 
 val trace : t -> Base_obs.Trace.t
 (** Structured runtime events: [recovery.start] / [recovery.reboot_done] /
-    [recovery.fetch_done], [st.retry] / [st.reject] / [st.retarget]. *)
+    [recovery.fetch_done], [st.retry] / [st.reject] / [st.retarget], and
+    the fetcher's own diagnostics as [st.debug] (quarantines, rejected
+    chunk assemblies, timeout re-stripes). *)
 
 val st_totals : t -> State_transfer.stats
 (** State-transfer traffic summed over every fetch by every replica,

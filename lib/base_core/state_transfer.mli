@@ -14,14 +14,31 @@
       partitions whose digest differs from the local state; every reply
       verifies against the already-certified parent digest.
     + [Fetch_obj] retrieves only the objects that are out of date or
-      corrupt; each verifies against its certified leaf digest.
+      corrupt, in ranges of at most {!params.chunk_bytes} bytes; each
+      assembled object verifies against its certified leaf digest.
+
+    The fetcher is a {e windowed, load-spread pipeline}: up to
+    {!params.window} meta/object requests are in flight at once, striped
+    across all peer replicas by a per-source scoreboard (outstanding count,
+    reject/timeout strikes, capped quarantine backoff) so recovery time
+    scales with the group's aggregate bandwidth, not with round trips to a
+    single source.  Before fetching a leaf it consults {!Objrepo.cache_find},
+    so values this replica has already seen (old checkpoint values saved by
+    copy-on-write, previously fetched objects) install without a round trip.
 
     When everything needed has arrived, the whole batch is installed with a
     single [put_objs] call — the library's guarantee that the inverse
-    abstraction function always sees a consistent abstract state. *)
+    abstraction function always sees a consistent abstract state.
+
+    [doc/state_transfer.md] documents the wire protocol, the verification
+    argument and the pipeline design with a worked trace. *)
 
 module Digest = Base_crypto.Digest_t
 
+(** Wire messages.  [Fetch_obj] asks for at most [max_bytes] of object
+    [index] starting at byte [off]; [Obj_reply] carries the range plus the
+    object's [total] length so the fetcher can schedule the remaining
+    chunks across other sources. *)
 type msg =
   | Fetch_head of { seq : int }
   | Head_reply of {
@@ -31,13 +48,15 @@ type msg =
     }
   | Fetch_meta of { seq : int; level : int; index : int }
   | Meta_reply of { seq : int; level : int; index : int; children : Digest.t array }
-  | Fetch_obj of { seq : int; index : int }
-  | Obj_reply of { seq : int; index : int; data : string }
+  | Fetch_obj of { seq : int; index : int; off : int; max_bytes : int }
+  | Obj_reply of { seq : int; index : int; off : int; total : int; data : string }
 
 val size : msg -> int
 (** Wire-size estimate for the simulator. *)
 
 val label : msg -> string
+(** Short human-readable tag (["FETCH-OBJ(n=8,i=3,o=4096)"]) used by the
+    simulator's per-label traffic census. *)
 
 val combined_digest :
   app_root:Digest.t -> client_rows:(int * int64 * string) list -> Digest.t
@@ -49,18 +68,63 @@ val combined_digest :
 
 val serve : Objrepo.t -> msg -> msg option
 (** Answer a fetch request from the local checkpoint store; [None] if we do
-    not hold the requested checkpoint (or the message is not a request). *)
+    not hold the requested checkpoint, the requested object range is out of
+    bounds, or the message is not a request. *)
 
 (** {1 Fetcher side} *)
 
+(** Pipeline tuning.  All limits are per-fetch. *)
+type params = {
+  window : int;  (** max meta/object requests in flight at once *)
+  chunk_bytes : int;  (** max object bytes per [Obj_reply]; larger objects
+                          are fetched as ranges striped across sources *)
+  strike_limit : int;  (** rejects/timeouts before a source is quarantined *)
+  max_backoff_rounds : int;
+      (** quarantine cap, in retry rounds; actual backoff doubles with each
+          quarantine of the same source up to this cap *)
+  max_obj_bytes : int;
+      (** sanity cap on an [Obj_reply.total] claim — a Byzantine server
+          cannot make the fetcher allocate unbounded reassembly buffers *)
+}
+
+val default_params : params
+(** [window = 8], [chunk_bytes = 4096], [strike_limit = 3],
+    [max_backoff_rounds = 8], [max_obj_bytes = 16 MiB].  The runtime
+    overrides [window] and [chunk_bytes] from
+    {!Base_bft.Types.config.st_window} / [st_chunk_bytes]. *)
+
+(** Per-source scoreboard entry, exposed for observability (the runtime
+    exports per-source byte counters from these). *)
+type source = {
+  src_id : int;  (** replica id of the peer *)
+  mutable out : int;  (** requests currently assigned to this source *)
+  mutable sent : int;  (** total requests sent to this source *)
+  mutable bytes : int;  (** verified payload bytes received from it *)
+  mutable strikes : int;  (** rejects/timeouts since the last quarantine
+                              (verified replies decay one strike each) *)
+  mutable quarantine : int;  (** retry rounds of quarantine remaining; 0 =
+                                 eligible for new assignments *)
+  mutable quarantines : int;  (** times this source has been quarantined *)
+}
+
+(** Cumulative fetch statistics (also aggregated system-wide by the
+    runtime as [Runtime.st_totals]). *)
 type stats = {
   mutable meta_fetched : int;
   mutable objects_fetched : int;
-  mutable bytes_fetched : int;
+  mutable bytes_fetched : int;  (** verified object payload bytes *)
+  mutable chunks_fetched : int;
+      (** accepted ranged replies for multi-chunk objects (single-reply
+          objects do not count) *)
+  mutable cache_hits : int;
+      (** leaves satisfied from {!Objrepo}'s digest-keyed cache without a
+          network fetch *)
   mutable retries : int;  (** {!retry} rounds driven by the runtime timer *)
-  (* Replies whose payload failed digest verification against the certified
-     target — the signature of a Byzantine or stale responder. *)
+  mutable quarantines : int;  (** sources quarantined (sum over sources) *)
   mutable heads_rejected : int;
+      (** replies whose payload failed digest verification against the
+          certified target — the signature of a Byzantine or stale
+          responder *)
   mutable meta_rejected : int;
   mutable objects_rejected : int;
 }
@@ -72,33 +136,51 @@ val compare_obj : int * string -> int * string -> int
 
 val rejected : stats -> int
 (** Total verification failures across heads, meta nodes and objects.  A
-    fetch accumulating rejections is talking to a faulty responder; the
+    fetch accumulating rejections is talking to faulty responders; the
     runtime uses this to re-target instead of retrying blindly. *)
 
 type t
 
 val start :
+  ?params:params ->
+  ?trace:(string -> unit) ->
   repo:Objrepo.t ->
+  sources:int list ->
   target_seq:int ->
   target_digest:Digest.t ->
-  send:(msg -> unit) ->
+  send:(dst:int -> msg -> unit) ->
   on_complete:
     (seq:int -> app_root:Digest.t -> client_rows:(int * int64 * string) list -> unit) ->
+  unit ->
   t
-(** Begin fetching.  [send] transmits a request to the peer replicas;
-    [on_complete] fires once after the batch has been installed in the
-    repo.  [target_digest] is the combined checkpoint digest certified by
-    f+1 CHECKPOINT messages. *)
+(** Begin fetching.  [sources] are the peer replica ids to stripe requests
+    over (must be non-empty; duplicates are dropped).  [send] transmits one
+    request to one peer; [on_complete] fires once after the batch has been
+    installed in the repo.  [target_digest] is the combined checkpoint
+    digest certified by f+1 CHECKPOINT messages.  [trace] receives one-line
+    diagnostic events (quarantines, rejected assemblies, timeout
+    re-stripes); the runtime routes it into the shared structured trace
+    sink — nothing here writes to stderr. *)
 
-val handle_reply : t -> msg -> unit
-(** Feed a state-transfer reply to the fetcher (requests are ignored). *)
+val handle_reply : t -> from:int -> msg -> unit
+(** Feed a state-transfer reply to the fetcher (requests are ignored).
+    [from] is the replica the reply arrived from: verified payloads credit
+    its scoreboard entry, verification failures count a strike against
+    it. *)
 
 val retry : t -> unit
-(** Re-send all outstanding requests (driven by a runtime timer). *)
-
-val debug : bool ref
-(** When set, {!retry} dumps fetcher progress to stderr (diagnostics). *)
+(** One watchdog round, driven by a runtime timer: decrement quarantines,
+    re-broadcast the head request if still unanswered, count a timeout
+    strike against every source holding a request older than one full
+    round, and re-stripe those requests over the other sources. *)
 
 val finished : t -> bool
 
 val stats : t -> stats
+
+val inflight : t -> int
+(** Meta/object requests currently in flight (always [<= params.window]). *)
+
+val scoreboard : t -> source array
+(** Per-source scoreboard, sorted by replica id.  The array is live: the
+    fetcher keeps mutating it. *)

@@ -714,8 +714,11 @@ let fetch_complete t ~seq ~app_digest ~client_rows =
     client_rows;
   (* Move the execution cursor to the transferred checkpoint.  When it lies
      below our previous position this is a rollback: the committed entries
-     still in the log re-execute deterministically on the restored state. *)
-  if seq >= t.h then t.last_exec <- seq;
+     still in the log re-execute deterministically on the restored state.
+     The cursor must follow the state unconditionally — the transfer
+     installed the at-[seq] state, so leaving the cursor anywhere else
+     would silently drop every operation between them. *)
+  t.last_exec <- seq;
   if seq > t.h then begin
     t.h <- seq;
     t.stable_digest <- combined;
@@ -735,6 +738,13 @@ let fetch_complete t ~seq ~app_digest ~client_rows =
   end;
   t.resume_vc_after_fetch <- false;
   if t.next_seq < t.h then t.next_seq <- t.h;
+  if seq < t.h then
+    (* The stable watermark overtook the fetch target while the transfer
+       was in flight (checkpoints keep certifying while we are Fetching),
+       and the log below the new watermark is gone — re-execution cannot
+       bridge the gap.  The replica is now simply behind: fetch again,
+       against the freshest certified checkpoint (>= h). *)
+    initiate_fetch t;
   try_execute t;
   drain_queue t
 

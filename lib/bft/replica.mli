@@ -129,7 +129,12 @@ val export_client_table : t -> (int * int64 * string) list
 val fetch_complete :
   t -> seq:Types.seqno -> app_digest:Digest.t -> client_rows:(int * int64 * string) list -> unit
 (** Called by the runtime when state transfer finished: installs the client
-    table, advances watermarks to [seq] and resumes normal processing. *)
+    table, moves the execution cursor to [seq] (down, for a rollback
+    repair), advances watermarks when [seq] is ahead of them, and resumes
+    normal processing.  If the stable watermark overtook [seq] while the
+    transfer was in flight — the log needed to roll forward is gone — the
+    replica immediately starts another fetch against the freshest certified
+    checkpoint instead of resuming from stale state. *)
 
 val initiate_fetch : t -> unit
 (** Force a state-transfer round against the best certified checkpoint known

@@ -16,11 +16,15 @@ type config = {
   n_principals : int;  (** replicas + clients, for MAC keychains *)
   batch_max : int;  (** max client requests ordered per consensus instance *)
   max_inflight : int;  (** proposals outstanding before the primary batches *)
+  st_window : int;  (** state transfer: max fetch requests in flight *)
+  st_chunk_bytes : int;  (** state transfer: max object bytes per reply *)
+  st_cache_objs : int;  (** state transfer: digest-keyed leaf-cache capacity *)
 }
 
 let make_config ?(checkpoint_period = 128) ?(log_window = 256)
     ?(client_timeout_us = 150_000) ?(viewchange_timeout_us = 500_000) ?(batch_max = 16)
-    ?(max_inflight = 8) ~f ~n_clients () =
+    ?(max_inflight = 8) ?(st_window = 8) ?(st_chunk_bytes = 4096) ?(st_cache_objs = 256) ~f
+    ~n_clients () =
   let n = (3 * f) + 1 in
   {
     n;
@@ -32,6 +36,9 @@ let make_config ?(checkpoint_period = 128) ?(log_window = 256)
     n_principals = n + n_clients;
     batch_max;
     max_inflight;
+    st_window;
+    st_chunk_bytes;
+    st_cache_objs;
   }
 
 let primary config view = view mod config.n

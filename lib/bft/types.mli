@@ -17,6 +17,16 @@ type config = {
   n_principals : int;  (** replicas + clients (MAC keychain universe) *)
   batch_max : int;  (** max client requests ordered per consensus instance *)
   max_inflight : int;  (** proposals outstanding before the primary batches *)
+  st_window : int;
+      (** state transfer: max meta/object fetch requests in flight per
+          recovering replica (the pipeline window; [1] recovers the serial
+          fetcher) *)
+  st_chunk_bytes : int;
+      (** state transfer: objects larger than this are fetched as ranged
+          chunks striped across sources *)
+  st_cache_objs : int;
+      (** capacity of {!Base_core.Objrepo}'s digest-keyed leaf cache
+          ([0] disables caching) *)
 }
 
 val make_config :
@@ -26,10 +36,17 @@ val make_config :
   ?viewchange_timeout_us:int ->
   ?batch_max:int ->
   ?max_inflight:int ->
+  ?st_window:int ->
+  ?st_chunk_bytes:int ->
+  ?st_cache_objs:int ->
   f:int ->
   n_clients:int ->
   unit ->
   config
+(** Defaults: [checkpoint_period = 128], [log_window = 256],
+    [client_timeout_us = 150_000], [viewchange_timeout_us = 500_000],
+    [batch_max = 16], [max_inflight = 8], [st_window = 8],
+    [st_chunk_bytes = 4096], [st_cache_objs = 256]. *)
 
 val primary : config -> view -> int
 (** The primary of a view: [view mod n]. *)

@@ -5,6 +5,7 @@ let () =
       ("stats", Test_stats.suite);
       ("obs", Test_obs.suite);
       ("state-transfer", Test_state_transfer.suite);
+      ("state-transfer-pipeline", Test_st_pipeline.suite);
       ("partition-tree", Test_partition_tree_prop.suite);
       ("nfs-model", Test_nfs_model.suite);
       ("oodb", Test_oodb.suite);

@@ -28,28 +28,29 @@ let synthetic ~seed =
       check_nondet = (fun ~clock_us:_ ~operation:_ ~nondet:_ -> true);
     }
   in
-  (store, Objrepo.create ~wrapper ~branching:8)
+  (store, Objrepo.create ~wrapper ~branching:8 ())
 
 let mutate store repo prng i =
   Objrepo.modify repo i;
   store.(i) <- Bytes.to_string (Prng.bytes prng obj_bytes)
 
-(* Run a fetch over a synchronous in-process channel, optionally mangling
-   the server's replies. *)
+(* Run a fetch over a synchronous in-process channel against one source,
+   optionally mangling the server's replies. *)
 let transfer ?(tamper = fun m -> m) ~src ~dst ~seq ~digest () =
   let q = Queue.create () in
   let completed = ref false in
   let fetcher =
-    St.start ~repo:dst ~target_seq:seq ~target_digest:digest
-      ~send:(fun m -> Queue.add m q)
+    St.start ~repo:dst ~sources:[ 0 ] ~target_seq:seq ~target_digest:digest
+      ~send:(fun ~dst:_ m -> Queue.add m q)
       ~on_complete:(fun ~seq:_ ~app_root:_ ~client_rows:_ -> completed := true)
+      ()
   in
   let rounds = ref 0 in
   while (not (Queue.is_empty q)) && !rounds < 100_000 do
     incr rounds;
     let m = Queue.pop q in
     match St.serve src m with
-    | Some reply -> St.handle_reply fetcher (tamper reply)
+    | Some reply -> St.handle_reply fetcher ~from:0 (tamper reply)
     | None -> ()
   done;
   (!completed, St.stats fetcher)
@@ -105,8 +106,9 @@ let test_byzantine_object_replies_rejected () =
   mutate store_src src prng 10;
   let _, digest = checkpoint src ~seq:1 in
   let tamper = function
-    | St.Obj_reply { seq; index; data } ->
-      St.Obj_reply { seq; index; data = String.map (fun c -> Char.chr (Char.code c lxor 1)) data }
+    | St.Obj_reply { seq; index; off; total; data } ->
+      St.Obj_reply
+        { seq; index; off; total; data = String.map (fun c -> Char.chr (Char.code c lxor 1)) data }
     | m -> m
   in
   let completed, stats = transfer ~tamper ~src ~dst ~seq:1 ~digest () in
