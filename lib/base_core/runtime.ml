@@ -634,7 +634,9 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
             now_us = (fun () -> Engine.now engine);
           }
         in
-        Client.create ~config ~id:cid ~keychain:chains.(cid) ~net)
+        (* All clients share the registry (and so one aggregate latency
+           histogram) — constant memory per client, however many complete. *)
+        Client.create ~metrics ~config ~id:cid ~keychain:chains.(cid) ~net ())
   in
   let orchestrator = config.Types.n_principals in
   let t =

@@ -11,7 +11,7 @@ type stats = {
   mutable completed : int;
   mutable retransmissions : int;
   mutable read_only_fallbacks : int;
-  mutable latencies_us : float list;
+  latency_us : Base_obs.Metrics.histogram;
 }
 
 type pending = {
@@ -34,8 +34,15 @@ type t = {
   stats : stats;
 }
 
-let create ~config ~id ~keychain ~net =
+let create ?metrics ~config ~id ~keychain ~net () =
   if id < (config : Types.config).n then invalid_arg "Client.create: id collides with a replica";
+  (* Latency is a streaming histogram, not a per-request list: registration
+     is get-or-create, so every client built over the same registry shares
+     one [bft.client.latency_us] series and memory stays O(buckets) no
+     matter how many requests complete — the property the open-loop load
+     harness depends on at 10^5..10^6 requests. *)
+  let registry = match metrics with Some m -> m | None -> Base_obs.Metrics.create () in
+  let latency_us = Base_obs.Metrics.histogram registry "bft.client.latency_us" in
   {
     config;
     id;
@@ -44,8 +51,7 @@ let create ~config ~id ~keychain ~net =
     next_ts = 0L;
     current = None;
     queue = Queue.create ();
-    stats =
-      { completed = 0; retransmissions = 0; read_only_fallbacks = 0; latencies_us = [] };
+    stats = { completed = 0; retransmissions = 0; read_only_fallbacks = 0; latency_us };
   }
 
 let id t = t.id
@@ -54,7 +60,10 @@ let outstanding t = Queue.length t.queue + (match t.current with Some _ -> 1 | N
 
 let stats t = t.stats
 
-let seal t body = M.seal t.keychain ~sender:t.id ~n_principals:t.config.n_principals body
+(* Requests authenticate to the n replicas; replies come back with a
+   client-specific MAC, so nothing a client seals scales with the total
+   principal population. *)
+let seal t body = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body
 
 let send_to_all t body =
   let env = seal t body in
@@ -68,9 +77,13 @@ let send_to_all t body =
 let needed t (r : M.request) =
   if r.read_only then Types.quorum t.config else Types.weak_quorum t.config
 
-let rec start_request t operation read_only callback =
+let fresh_ts t =
   let ts = t.next_ts in
   t.next_ts <- Int64.add ts 1L;
+  ts
+
+let rec start_request t operation read_only callback =
+  let ts = fresh_ts t in
   let request = { M.client = t.id; timestamp = ts; operation; read_only } in
   let p =
     {
@@ -95,7 +108,7 @@ and finish t p result =
   t.current <- None;
   t.stats.completed <- t.stats.completed + 1;
   let elapsed = Int64.sub (t.net.now_us ()) p.started_us in
-  t.stats.latencies_us <- Int64.to_float elapsed :: t.stats.latencies_us;
+  Base_obs.Metrics.observe t.stats.latency_us (Int64.to_float elapsed);
   p.callback result;
   match Queue.take_opt t.queue with
   | Some (operation, read_only, callback) -> start_request t operation read_only callback
@@ -106,20 +119,30 @@ let invoke t ?(read_only = false) ~operation callback =
   | Some _ -> Queue.add (operation, read_only, callback) t.queue
   | None -> start_request t operation read_only callback
 
-let check_quorum t p =
-  (* Count replicas agreeing on each result value. *)
+(* Deterministic winner selection: of every result that reached its quorum,
+   take the lexicographically smallest.  Folding over the tally table
+   directly would make the pick hash-order dependent whenever two result
+   values qualify at once — the D3 bug class `basecheck` polices. *)
+let quorum_winner ~needed replies =
   let counts = Hashtbl.create 4 in
   Hashtbl.iter
     (fun _ result ->
       let c = try Hashtbl.find counts result with Not_found -> 0 in
       Hashtbl.replace counts result (c + 1))
-    p.replies;
-  let winner =
-    Hashtbl.fold
-      (fun result c acc -> if c >= needed t p.request then Some result else acc)
-      counts None
-  in
-  match winner with Some result -> finish t p result | None -> ()
+    replies;
+  Hashtbl.fold
+    (fun result c acc ->
+      if c >= needed then
+        match acc with
+        | Some best when String.compare best result <= 0 -> acc
+        | Some _ | None -> Some result
+      else acc)
+    counts None
+
+let check_quorum t p =
+  match quorum_winner ~needed:(needed t p.request) p.replies with
+  | Some result -> finish t p result
+  | None -> ()
 
 let receive t (env : M.envelope) =
   if M.verify t.keychain ~receiver:t.id env then begin
@@ -141,9 +164,13 @@ let on_timer t ~tag ~payload =
     t.stats.retransmissions <- t.stats.retransmissions + 1;
     if p.request.read_only && p.attempts >= 2 then begin
       (* Read-only quorum unreachable (e.g. concurrent writes or recovering
-         replicas): fall back to a regular, ordered request. *)
+         replicas): fall back to a regular, ordered request — under a FRESH
+         timestamp.  Reusing the read-only attempt's timestamp would let its
+         late tentative replies match the fallback in [receive] and count
+         toward the weaker f+1 quorum, so f+1 stale tentative replies could
+         complete a read that was never ordered — a linearizability hole. *)
       t.stats.read_only_fallbacks <- t.stats.read_only_fallbacks + 1;
-      let request = { p.request with read_only = false } in
+      let request = { p.request with read_only = false; timestamp = fresh_ts t } in
       let p' = { p with request; attempts = 0 } in
       Hashtbl.reset p'.replies;
       t.current <- Some p';

@@ -4,11 +4,14 @@
     all replicas on timeout) and accepts a result once enough replicas sent
     matching replies: f+1 for read-write operations, 2f+1 for the read-only
     optimisation.  A read-only request that cannot gather a 2f+1 quorum is
-    retried as a regular request, as in the BFT library.
+    retried as a regular request {e under a fresh timestamp}, as in the BFT
+    library — reusing the timestamp would let stale tentative replies from
+    the abandoned read-only attempt count toward the weaker ordered quorum.
 
     The simulator is event-driven, so [invoke] takes a completion callback
     rather than blocking; one request is outstanding at a time and further
-    invocations queue. *)
+    invocations queue.  Hosts that need many requests in flight multiplex a
+    pool of clients (see {!Base_workload.Load}). *)
 
 type net = {
   send : dst:int -> Message.envelope -> unit;
@@ -21,14 +24,27 @@ type stats = {
   mutable completed : int;
   mutable retransmissions : int;
   mutable read_only_fallbacks : int;
-  mutable latencies_us : float list;  (** per completed operation *)
+  latency_us : Base_obs.Metrics.histogram;
+      (** per completed operation, streaming (O(buckets) memory however many
+          requests complete); shared with every other client registered over
+          the same [?metrics] registry *)
 }
 
 type t
 
 val create :
-  config:Types.config -> id:int -> keychain:Base_crypto.Auth.keychain -> net:net -> t
-(** [id] must be [>= config.n] (replica ids come first). *)
+  ?metrics:Base_obs.Metrics.t ->
+  config:Types.config ->
+  id:int ->
+  keychain:Base_crypto.Auth.keychain ->
+  net:net ->
+  unit ->
+  t
+(** [id] must be [>= config.n] (replica ids come first).  [metrics] is the
+    registry the latency histogram registers in ([bft.client.latency_us]);
+    clients sharing a registry share the histogram, which is how a large
+    client pool keeps one aggregate latency series.  Defaults to a private
+    registry. *)
 
 val id : t -> int
 
@@ -45,3 +61,8 @@ val outstanding : t -> int
 (** Number of queued + in-flight operations (0 when idle). *)
 
 val stats : t -> stats
+
+val quorum_winner : needed:int -> (int, string) Hashtbl.t -> string option
+(** Deterministic quorum selection over a replica->result reply table: the
+    lexicographically smallest result with [>= needed] votes, or [None].
+    Exposed so the selection rule itself can be pinned by tests. *)

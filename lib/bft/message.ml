@@ -62,7 +62,13 @@ type body =
   | New_view of new_view
   | Status of status_msg
 
-type envelope = { sender : int; body : body; macs : string array; size : int }
+type envelope = {
+  sender : int;
+  body : body;
+  macs : string array;  (* authenticator; macs.(r - mac_lo) is receiver r's MAC *)
+  mac_lo : int;  (* id of the first receiver the authenticator covers *)
+  size : int;
+}
 
 (* Clients use small signed ints (-1 for null requests); bias into u32 space. *)
 let enc_id e id = Xdr.u32 e (id + 1)
@@ -253,16 +259,23 @@ let decode_body data =
   | body -> Ok body
   | exception Xdr.Decode_error msg -> Error msg
 
-let seal chain ~sender ~n_principals body =
+let seal chain ~sender ~n_receivers body =
   let encoded = encode_body body in
-  let macs = Base_crypto.Auth.authenticator chain ~n:n_principals encoded in
+  let macs = Base_crypto.Auth.authenticator chain ~n:n_receivers encoded in
   (* Wire size: body + one 8-byte truncated MAC per receiver + small header. *)
-  { sender; body; macs; size = String.length encoded + (8 * n_principals) + 16 }
+  { sender; body; macs; mac_lo = 0; size = String.length encoded + (8 * n_receivers) + 16 }
+
+let seal_for chain ~sender ~receiver body =
+  let encoded = encode_body body in
+  let macs = [| Base_crypto.Auth.mac_for chain ~receiver encoded |] in
+  { sender; body; macs; mac_lo = receiver; size = String.length encoded + 8 + 16 }
 
 let verify chain ~receiver env =
-  receiver < Array.length env.macs
+  let slot = receiver - env.mac_lo in
+  slot >= 0
+  && slot < Array.length env.macs
   && Base_crypto.Auth.check chain ~sender:env.sender (encode_body env.body)
-       ~mac:env.macs.(receiver)
+       ~mac:env.macs.(slot)
 
 let label = function
   | Request r -> Printf.sprintf "REQUEST(c=%d,t=%Ld%s)" r.client r.timestamp

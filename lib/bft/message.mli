@@ -83,7 +83,9 @@ type body =
 type envelope = {
   sender : int;
   body : body;
-  macs : string array;  (** authenticator, indexed by receiver id *)
+  macs : string array;
+      (** authenticator; [macs.(r - mac_lo)] is receiver [r]'s MAC *)
+  mac_lo : int;  (** id of the first receiver the authenticator covers *)
   size : int;  (** wire size: encoded body + authenticator *)
 }
 
@@ -100,8 +102,15 @@ val decode_body : string -> (body, string) result
     values directly, but the wire format round-trips for real transports
     (property-tested). *)
 
-val seal : Base_crypto.Auth.keychain -> sender:int -> n_principals:int -> body -> envelope
-(** Build an authenticated envelope. *)
+val seal : Base_crypto.Auth.keychain -> sender:int -> n_receivers:int -> body -> envelope
+(** Build an authenticated envelope for receivers [0 .. n_receivers - 1] —
+    the form every replica-bound message uses ([n_receivers = n]).  The MAC
+    vector no longer scales with the total principal count, which is what
+    keeps sealing affordable with thousands of registered clients. *)
+
+val seal_for : Base_crypto.Auth.keychain -> sender:int -> receiver:int -> body -> envelope
+(** Build a unicast envelope carrying a single MAC for [receiver] — the form
+    replica-to-client replies use. *)
 
 val verify : Base_crypto.Auth.keychain -> receiver:int -> envelope -> bool
 (** Check the receiver's MAC slot against the re-encoded body under the

@@ -220,8 +220,9 @@ let export_client_table t = client_rows_of_table t.clients
 
 (* --- sending ------------------------------------------------------------ *)
 
-let seal t body =
-  M.seal t.keychain ~sender:t.id ~n_principals:t.config.n_principals body
+(* Replica-to-replica messages authenticate to the n replicas only; replies
+   carry a single MAC for their client (see [send_reply]). *)
+let seal t body = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body
 
 let send_one t ~dst body =
   if t.behavior <> Mute then t.net.send ~dst (seal t body)
@@ -242,7 +243,9 @@ let send_reply t (reply : M.reply) =
       { reply with result = String.map (fun c -> Char.chr (Char.code c lxor 0x5a)) reply.result }
     | Honest | Mute | Equivocate -> reply
   in
-  send_one t ~dst:reply.client (M.Reply reply)
+  if t.behavior <> Mute then
+    t.net.send ~dst:reply.client
+      (M.seal_for t.keychain ~sender:t.id ~receiver:reply.client (M.Reply reply))
 
 (* --- timers ------------------------------------------------------------- *)
 
@@ -1112,7 +1115,8 @@ let receive_wire t ~sender ~macs raw =
     t.stats.rejected_decode <- t.stats.rejected_decode + 1;
     Base_obs.Metrics.incr t.obs.c_reject_decode
   | Ok body ->
-    receive t { M.sender; body; macs; size = String.length raw + (8 * Array.length macs) + 16 }
+    receive t
+      { M.sender; body; macs; mac_lo = 0; size = String.length raw + (8 * Array.length macs) + 16 }
 
 let create ?metrics ~config ~id ~keychain ~net ~app () =
   let metrics =

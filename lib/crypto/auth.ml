@@ -1,49 +1,62 @@
+(* Pairwise session keys, derived lazily.
+
+   The original implementation materialised the full P x P key matrix at
+   [create], which is O(P^2) time and memory — prohibitive once the client
+   population reaches the thousands the open-loop load harness simulates.
+   Keys are instead derived on demand from a group master secret:
+
+     key(i, j) = HMAC(master, lo || hi || epoch(lo) || epoch(hi))
+
+   with lo = min i j, hi = max i j, so both endpoints derive the same key
+   without ever exchanging it.  Epochs live in one array shared by every
+   keychain (the simulator plays the trusted key-exchange channel);
+   refreshing principal [i] bumps [epochs.(i)], which atomically invalidates
+   every key [i] shares — exactly the post-reboot key change proactive
+   recovery relies on.  Derived keys are memoised per chain, keyed by the
+   epoch pair they were derived under, so steady-state MAC cost is one HMAC
+   as before and memory is proportional to the pairs that actually
+   communicate, not to P^2. *)
+
+type cached = { ck_epoch_lo : int; ck_epoch_hi : int; ck_key : string }
+
 type keychain = {
   id : int;
-  keys : string array; (* session key with each peer *)
-  epochs : int array;
-  prng : Base_util.Prng.t; (* key-refresh randomness *)
+  master : string;  (* group secret; shared by all chains of one [create] *)
+  epochs : int array;  (* per-principal refresh counters; shared *)
+  cache : (int, cached) Hashtbl.t;  (* peer -> memoised session key *)
 }
-
-let session_key prng = Bytes.unsafe_to_string (Base_util.Prng.bytes prng 32)
 
 let create ~seed ~n_principals =
   let prng = Base_util.Prng.create seed in
-  let chains =
-    Array.init n_principals (fun id ->
-        {
-          id;
-          keys = Array.make n_principals "";
-          epochs = Array.make n_principals 0;
-          prng = Base_util.Prng.split prng;
-        })
-  in
-  for i = 0 to n_principals - 1 do
-    for j = i to n_principals - 1 do
-      let key = session_key prng in
-      chains.(i).keys.(j) <- key;
-      chains.(j).keys.(i) <- key
-    done
-  done;
-  chains
+  let master = Bytes.unsafe_to_string (Base_util.Prng.bytes prng 32) in
+  let epochs = Array.make n_principals 0 in
+  Array.init n_principals (fun id -> { id; master; epochs; cache = Hashtbl.create 8 })
 
-let epoch chain peer = chain.epochs.(peer)
+let derive chain ~lo ~hi ~epoch_lo ~epoch_hi =
+  Hmac.mac ~key:chain.master (Printf.sprintf "%d.%d.%d.%d" lo hi epoch_lo epoch_hi)
+
+let session_key chain peer =
+  let lo = min chain.id peer and hi = max chain.id peer in
+  let epoch_lo = chain.epochs.(lo) and epoch_hi = chain.epochs.(hi) in
+  match Hashtbl.find_opt chain.cache peer with
+  | Some c when c.ck_epoch_lo = epoch_lo && c.ck_epoch_hi = epoch_hi -> c.ck_key
+  | Some _ | None ->
+    let key = derive chain ~lo ~hi ~epoch_lo ~epoch_hi in
+    Hashtbl.replace chain.cache peer { ck_epoch_lo = epoch_lo; ck_epoch_hi = epoch_hi; ck_key = key };
+    key
+
+let epoch chain peer = chain.epochs.(chain.id) + chain.epochs.(peer)
 
 let refresh_keys chains i =
-  let me = chains.(i) in
-  Array.iteri
-    (fun j peer ->
-      if j <> i then begin
-        let key = session_key me.prng in
-        me.keys.(j) <- key;
-        peer.keys.(i) <- key;
-        me.epochs.(j) <- me.epochs.(j) + 1;
-        peer.epochs.(i) <- peer.epochs.(i) + 1
-      end)
-    chains
+  (* All chains share the epoch array; bumping one slot re-keys principal
+     [i] with every peer (stale cache entries fail their epoch check). *)
+  if Array.length chains > 0 then begin
+    let any = chains.(0) in
+    any.epochs.(i) <- any.epochs.(i) + 1
+  end
 
-let mac_for chain ~receiver msg = Hmac.mac ~key:chain.keys.(receiver) msg
+let mac_for chain ~receiver msg = Hmac.mac ~key:(session_key chain receiver) msg
 
 let authenticator chain ~n msg = Array.init n (fun receiver -> mac_for chain ~receiver msg)
 
-let check chain ~sender msg ~mac = Hmac.verify ~key:chain.keys.(sender) msg ~tag:mac
+let check chain ~sender msg ~mac = Hmac.verify ~key:(session_key chain sender) msg ~tag:mac

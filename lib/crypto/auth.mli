@@ -5,7 +5,10 @@
     vector with one MAC per receiver.  A Byzantine principal can send
     arbitrary messages but cannot forge a MAC for a key it does not hold —
     this module computes and checks real HMACs, so the simulator enforces
-    that property by construction rather than by fiat.
+    that property by construction rather than by fiat.  (Pairwise keys are
+    derived from a group master secret the simulator holds in trust; a
+    keychain's API only ever derives keys for pairs the holder belongs to,
+    which preserves the pairwise-secrecy property at the interface.)
 
     Proactive recovery refreshes a replica's keys ({!refresh_keys}), which
     invalidates MACs an attacker might have stolen before the recovery. *)
@@ -16,7 +19,9 @@ type keychain
 val create : seed:int64 -> n_principals:int -> keychain array
 (** [create ~seed ~n_principals] builds a consistent set of keychains: the
     session key between principals [i] and [j] is shared by keychains [i] and
-    [j] and known to nobody else. *)
+    [j] and known to nobody else.  Keys are derived lazily from a group
+    master secret, so creation is O(n_principals) — large simulated client
+    populations are cheap to register. *)
 
 val epoch : keychain -> int -> int
 (** Current key epoch between the holder and the given peer. *)

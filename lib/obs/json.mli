@@ -1,10 +1,11 @@
-(** Minimal deterministic JSON emitter for the observability subsystem.
+(** Minimal deterministic JSON emitter (and matching parser) for the
+    observability subsystem.
 
     Every rendering function sorts object keys, prints floats canonically
     ("<n>.0" for integral values, shortest round-trippable form otherwise)
     and maps non-finite floats to [null], so the same value always renders
     to the same bytes — the property the benchmark regression gates rely
-    on.  There is deliberately no parser: this is an output format. *)
+    on. *)
 
 type t =
   | Null
@@ -24,3 +25,11 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space-indented rendering for humans; same ordering guarantees. *)
+
+val of_string : string -> (t, string) result
+(** Parse the subset of JSON this module emits — which is everything the
+    repository's artifacts (e.g. [BENCH_metrics.json]) contain.  A number
+    literal parses as [Int] unless it carries a fraction or exponent, so
+    [to_string] o [of_string] is the identity on this module's own output.
+    Object keys keep their file order; wrap in {!obj} (or re-render) for the
+    canonical sorted form.  [Error] carries a message with a byte offset. *)

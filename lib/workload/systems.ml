@@ -4,6 +4,7 @@
 module Runtime = Base_core.Runtime
 module Engine = Base_sim.Engine
 module Types = Base_bft.Types
+module Service = Base_core.Service
 module S = Base_fs.Server_intf
 
 let impl_names = [| "inode"; "hash"; "log"; "btree"; "fat" |]
@@ -65,6 +66,61 @@ let make_basefs ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 51
   let runtime = Runtime.create ~engine_config ~config ~make_wrapper ~n_clients () in
   engine_cell := Some (Runtime.engine runtime);
   { runtime; servers = Array.map Option.get servers; impl_of }
+
+(** A deterministic register-array service: the lightest replicated system
+    the runtime can host, used by the saturation benchmarks (E15) and the
+    batching-equivalence property test.  Unlike the test kv service and the
+    NFS wrapper it is {e stamp-free} — no agreed clock value enters the
+    state — so the abstract-state digest after a workload is a function of
+    the writes alone, identical across batch sizes, pipelining windows and
+    schedules.  Operations: ["set:<i>:<v>"] -> ["ok"], ["get:<i>"] -> the
+    slot's value. *)
+type registers = {
+  reg_runtime : Runtime.t;
+  slots : string array array;  (** concrete state, per replica *)
+}
+
+let registers_wrapper ~n_objects slots : Service.wrapper =
+  let execute ~client:_ ~operation ~nondet:_ ~read_only:_ ~modify =
+    match String.split_on_char ':' operation with
+    | [ "set"; i; v ] ->
+      let i = int_of_string i in
+      modify i;
+      slots.(i) <- v;
+      "ok"
+    | [ "get"; i ] -> slots.(int_of_string i)
+    | _ -> "bad-op"
+  in
+  {
+    Service.name = "registers";
+    n_objects;
+    execute;
+    get_obj = (fun i -> slots.(i));
+    put_objs = (fun objs -> List.iter (fun (i, data) -> slots.(i) <- data) objs);
+    restart = (fun () -> ());
+    (* Stamp-free: the service consumes no non-determinism, so the primary
+       proposes nothing and backups accept exactly that. *)
+    propose_nondet = (fun ~clock_us:_ ~operation:_ -> "");
+    check_nondet = (fun ~clock_us:_ ~operation:_ ~nondet -> String.equal nondet "");
+  }
+
+let make_registers ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 64)
+    ?(n_clients = 1) ?drop_p ?batch_max ?max_inflight ?client_timeout_us
+    ?viewchange_timeout_us () =
+  let config =
+    Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ?batch_max
+      ?max_inflight ?client_timeout_us ?viewchange_timeout_us ~f ~n_clients ()
+  in
+  let engine_config =
+    let base =
+      Engine.default_config ~size_of:Runtime.msg_size ~label_of:Runtime.msg_label
+    in
+    { base with seed; drop_p = Option.value drop_p ~default:base.drop_p }
+  in
+  let slots = Array.init config.Types.n (fun _ -> Array.make n_objects "") in
+  let make_wrapper rid = registers_wrapper ~n_objects slots.(rid) in
+  let runtime = Runtime.create ~engine_config ~config ~make_wrapper ~n_clients () in
+  { reg_runtime = runtime; slots }
 
 (** An unreplicated off-the-shelf server used as the comparison baseline:
     direct calls, with network and service time accounted analytically using

@@ -103,10 +103,71 @@ let test_unbatched_equivalence () =
   let instances, requests = stats_of sys in
   Alcotest.(check int) "one request per instance" instances requests
 
+(* Batching-equivalence property: batching is a scheduling optimisation, not
+   a semantic change.  The same seeded workload run under batch_max = 1 and
+   batch_max = 64 must produce identical per-client result histories and an
+   identical abstract-state digest.  The workload runs on the stamp-free
+   registers service (no agreed clock enters the state) with each client
+   owning a disjoint slot range, so results and final state are functions of
+   the workload alone — any divergence is a batching bug (loss, duplication,
+   reordering within a client, or cross-request interference). *)
+let equivalence_script ~n_clients ~per_client ~slots_per_client =
+  let prng = Base_util.Prng.create 4242L in
+  Array.init n_clients (fun c ->
+      let base = c * slots_per_client in
+      Array.init per_client (fun i ->
+          let slot = base + Base_util.Prng.int prng slots_per_client in
+          match Base_util.Prng.int prng 4 with
+          | 0 -> (Printf.sprintf "get:%d" slot, false)
+          | 1 -> (Printf.sprintf "get:%d" slot, true)  (* read-only fast path *)
+          | _ -> (Printf.sprintf "set:%d:c%d-%d" slot c i, false)))
+
+let run_equivalence_workload ~batch_max script ~n_clients ~slots_per_client =
+  let sys =
+    Base_workload.Systems.make_registers ~seed:65L ~n_clients ~batch_max
+      ~n_objects:(n_clients * slots_per_client) ()
+  in
+  let rt = sys.Base_workload.Systems.reg_runtime in
+  let histories = Array.map (fun ops -> Array.make (Array.length ops) "") script in
+  Array.iteri
+    (fun c ops ->
+      Array.iteri
+        (fun i (operation, read_only) ->
+          Runtime.invoke rt ~client:c ~read_only ~operation (fun r ->
+              histories.(c).(i) <- r))
+        ops)
+    script;
+  Runtime.run_until_idle rt;
+  (* Quiesce stragglers so every replica reaches the final state. *)
+  Engine.run ~until:(Sim_time.add (Runtime.now rt) (Sim_time.of_sec 1.0)) (Runtime.engine rt);
+  let root = Base_core.Objrepo.current_root (Runtime.replica rt 0).Runtime.repo in
+  Array.iter
+    (fun node ->
+      Alcotest.(check bool) "replicas converged" true
+        (Base_crypto.Digest_t.equal root
+           (Base_core.Objrepo.current_root node.Runtime.repo)))
+    (Runtime.replicas rt);
+  (histories, root)
+
+let test_batching_equivalence_property () =
+  let n_clients = 4 and per_client = 24 and slots_per_client = 4 in
+  let script = equivalence_script ~n_clients ~per_client ~slots_per_client in
+  let h1, d1 = run_equivalence_workload ~batch_max:1 script ~n_clients ~slots_per_client in
+  let h64, d64 = run_equivalence_workload ~batch_max:64 script ~n_clients ~slots_per_client in
+  for c = 0 to n_clients - 1 do
+    Alcotest.(check (array string))
+      (Printf.sprintf "client %d history identical across batch sizes" c)
+      h1.(c) h64.(c)
+  done;
+  Alcotest.(check bool) "abstract-state digests identical" true
+    (Base_crypto.Digest_t.equal d1 d64)
+
 let suite =
   [
     Alcotest.test_case "batches form under load" `Quick test_batches_form_under_load;
     Alcotest.test_case "batching is not lossy" `Quick test_batching_not_lossy;
     Alcotest.test_case "batching + view change" `Quick test_batching_with_view_change;
     Alcotest.test_case "unbatched equivalence" `Quick test_unbatched_equivalence;
+    Alcotest.test_case "batching-equivalence property" `Quick
+      test_batching_equivalence_property;
   ]

@@ -108,7 +108,7 @@ let test_mac_forgery_rejected () =
   let config = Runtime.config sys in
   let chains = Base_crypto.Auth.create ~seed:4242L ~n_principals:config.Types.n_principals in
   let forged =
-    Message.seal chains.(2) ~sender:2 ~n_principals:config.Types.n_principals
+    Message.seal chains.(2) ~sender:2 ~n_receivers:config.Types.n
       (Message.Prepare
          { view = 0; seq = 3; digest = Base_crypto.Digest_t.of_string "fake"; replica = 2 })
   in

@@ -90,7 +90,7 @@ let test_decode_garbage () =
 let test_envelope_macs () =
   let chains = Auth.create ~seed:2L ~n_principals:6 in
   let body = M.Prepare { view = 1; seq = 2; digest = Digest.of_string "d"; replica = 3 } in
-  let env = M.seal chains.(3) ~sender:3 ~n_principals:6 body in
+  let env = M.seal chains.(3) ~sender:3 ~n_receivers:6 body in
   for receiver = 0 to 5 do
     Alcotest.(check bool)
       (Printf.sprintf "receiver %d verifies" receiver)

@@ -36,7 +36,7 @@ let make_world () =
       now_us = (fun () -> (Option.get !w_ref).now);
     }
   in
-  let client = Client.create ~config ~id:4 ~keychain:chains.(4) ~net in
+  let client = Client.create ~config ~id:4 ~keychain:chains.(4) ~net () in
   let w = { config; chains; client; sent; timers; now = 0L; next_timer = 0 } in
   w_ref := Some w;
   w
@@ -47,10 +47,7 @@ let reply w ~replica ~timestamp ~result =
   let body =
     Message.Reply { view = 0; timestamp; client = 4; replica; result }
   in
-  let env =
-    Message.seal w.chains.(replica) ~sender:replica ~n_principals:w.config.Types.n_principals
-      body
-  in
+  let env = Message.seal_for w.chains.(replica) ~sender:replica ~receiver:4 body in
   Client.receive w.client env
 
 let test_request_broadcast () =
@@ -159,14 +156,96 @@ let test_forged_reply_rejected () =
       in
       let env =
         {
-          (Message.seal w.chains.(3) ~sender:3 ~n_principals:w.config.Types.n_principals body)
-          with
+          (Message.seal_for w.chains.(3) ~sender:3 ~receiver:4 body) with
           Message.sender = claimed;
         }
       in
       Client.receive w.client env)
     [ 0; 1 ];
   Alcotest.(check (option string)) "forged macs rejected" None !result
+
+(* Regression (linearizability hole): the read-only fallback must not reuse
+   the read-only attempt's timestamp — late tentative replies from the
+   abandoned attempt would otherwise count toward the weaker f+1 ordered
+   quorum, completing a "read" from f+1 stale tentative replies. *)
+let test_ro_fallback_ignores_stale_tentative () =
+  let w = make_world () in
+  let result = ref None in
+  Client.invoke w.client ~read_only:true ~operation:"ro" (fun r -> result := Some r);
+  (* Two timeouts: retransmit, then fall back to an ordered request. *)
+  Client.on_timer w.client ~tag:"client" ~payload:0;
+  Client.on_timer w.client ~tag:"client" ~payload:0;
+  (* Late tentative replies from the aborted read-only attempt (timestamp 0)
+     arrive only now — f+1 of them, which would complete the fallback if the
+     timestamp were shared. *)
+  reply w ~replica:0 ~timestamp:0L ~result:"stale";
+  reply w ~replica:1 ~timestamp:0L ~result:"stale";
+  Alcotest.(check (option string)) "stale tentative replies ignored" None !result;
+  (* The ordered replies for the fallback's own (fresh) timestamp win. *)
+  reply w ~replica:2 ~timestamp:1L ~result:"fresh";
+  reply w ~replica:3 ~timestamp:1L ~result:"fresh";
+  Alcotest.(check (option string)) "ordered result accepted" (Some "fresh") !result
+
+let test_ro_fallback_uses_fresh_timestamp () =
+  let w = make_world () in
+  Client.invoke w.client ~read_only:true ~operation:"ro" (fun _ -> ());
+  Client.on_timer w.client ~tag:"client" ~payload:0;
+  Queue.clear w.sent;
+  Client.on_timer w.client ~tag:"client" ~payload:0;
+  List.iter
+    (function
+      | _, Message.Request r ->
+        Alcotest.(check bool) "fallback is ordered" false r.Message.read_only;
+        Alcotest.(check int64) "fallback timestamp bumped" 1L r.Message.timestamp
+      | _ -> Alcotest.fail "unexpected message")
+    (drain w.sent);
+  (* The next request must not collide with the bumped timestamp. *)
+  let result = ref None in
+  reply w ~replica:0 ~timestamp:1L ~result:"v";
+  reply w ~replica:1 ~timestamp:1L ~result:"v";
+  Client.invoke w.client ~operation:"next" (fun r -> result := Some r);
+  reply w ~replica:0 ~timestamp:2L ~result:"w";
+  reply w ~replica:1 ~timestamp:2L ~result:"w";
+  Alcotest.(check (option string)) "timestamps stay monotonic" (Some "w") !result
+
+(* Regression (D3 class): when two result values both reach their quorum,
+   the winner must not depend on hash order.  [quorum_winner] is pinned to
+   the lexicographically smallest qualifying result, whatever the insertion
+   order of the reply table. *)
+let test_quorum_winner_deterministic () =
+  let winner_of bindings ~needed =
+    let replies = Hashtbl.create 8 in
+    List.iter (fun (r, v) -> Hashtbl.replace replies r v) bindings;
+    Client.quorum_winner ~needed replies
+  in
+  Alcotest.(check (option string))
+    "two qualifying results: smallest wins" (Some "aa")
+    (winner_of [ (0, "zz"); (1, "zz"); (2, "aa"); (3, "aa") ] ~needed:2);
+  Alcotest.(check (option string))
+    "insertion order irrelevant" (Some "aa")
+    (winner_of [ (2, "aa"); (0, "zz"); (3, "aa"); (1, "zz") ] ~needed:2);
+  Alcotest.(check (option string))
+    "many qualifying results: smallest wins" (Some "r-a")
+    (winner_of
+       [ (0, "r-f"); (1, "r-e"); (2, "r-a"); (3, "r-c"); (4, "r-b"); (5, "r-d") ]
+       ~needed:1);
+  Alcotest.(check (option string))
+    "no quorum" None
+    (winner_of [ (0, "x"); (1, "y") ] ~needed:2)
+
+let test_latency_histogram_streams () =
+  let w = make_world () in
+  for i = 0 to 2 do
+    w.now <- Int64.add w.now 1_000L;
+    Client.invoke w.client ~operation:"op" (fun _ -> ());
+    w.now <- Int64.add w.now 500L;
+    reply w ~replica:0 ~timestamp:(Int64.of_int i) ~result:"r";
+    reply w ~replica:1 ~timestamp:(Int64.of_int i) ~result:"r"
+  done;
+  let s = Client.stats w.client in
+  Alcotest.(check int) "three completions observed" 3
+    (Base_obs.Metrics.hist_count s.Client.latency_us);
+  Alcotest.(check int) "counter matches" 3 s.Client.completed
 
 let suite =
   [
@@ -180,4 +259,10 @@ let suite =
     Alcotest.test_case "read-only fallback" `Quick test_ro_fallback_after_retries;
     Alcotest.test_case "outstanding ops queue" `Quick test_queueing_outstanding_ops;
     Alcotest.test_case "forged replies rejected" `Quick test_forged_reply_rejected;
+    Alcotest.test_case "ro fallback ignores stale tentative replies" `Quick
+      test_ro_fallback_ignores_stale_tentative;
+    Alcotest.test_case "ro fallback bumps timestamp" `Quick
+      test_ro_fallback_uses_fresh_timestamp;
+    Alcotest.test_case "quorum winner deterministic" `Quick test_quorum_winner_deterministic;
+    Alcotest.test_case "latency histogram streams" `Quick test_latency_histogram_streams;
   ]

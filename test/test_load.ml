@@ -1,0 +1,89 @@
+(* Unit tests of the open-loop load injector: arrival counts, seed
+   determinism, independence from the protocol's randomness consumption,
+   and bounded-backlog shedding past saturation. *)
+
+module Load = Base_workload.Load
+module Systems = Base_workload.Systems
+module Runtime = Base_core.Runtime
+module Metrics = Base_obs.Metrics
+
+let make ?(n_clients = 8) ?(batch_max = 16) ?(seed = 11L) () =
+  (Systems.make_registers ~seed ~n_clients ~batch_max ()).Systems.reg_runtime
+
+let test_fixed_rate_arrival_count () =
+  (* Fixed arrivals at rate r for duration d generate exactly r*d requests:
+     one at the window start, then every 1/r until (exclusive) the end. *)
+  let rt = make () in
+  let load = Load.create ~arrivals:Load.Fixed ~rate_per_s:500.0 ~duration_us:1_000_000 rt in
+  (match Load.run load with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let s = Load.stats load in
+  Alcotest.(check int) "offered = rate x duration" 500 s.Load.offered;
+  Alcotest.(check int) "all arrivals completed" 500 s.Load.completed;
+  Alcotest.(check int) "nothing shed" 0 s.Load.shed;
+  Alcotest.(check int) "histogram streams every completion" 500
+    (Metrics.hist_count s.Load.latency_us)
+
+let run_poisson ~sys_seed ~load_seed ~batch_max =
+  let rt = make ~seed:sys_seed ~batch_max () in
+  let load =
+    Load.create ~seed:load_seed ~arrivals:Load.Poisson ~rate_per_s:800.0
+      ~duration_us:500_000 rt
+  in
+  (match Load.run load with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Load.stats load
+
+let test_poisson_deterministic_under_seed () =
+  let a = run_poisson ~sys_seed:21L ~load_seed:7L ~batch_max:16 in
+  let b = run_poisson ~sys_seed:21L ~load_seed:7L ~batch_max:16 in
+  Alcotest.(check int) "same offered" a.Load.offered b.Load.offered;
+  Alcotest.(check int) "same completed" a.Load.completed b.Load.completed;
+  Alcotest.(check (float 0.0)) "same p99"
+    (Metrics.quantile a.Load.latency_us 0.99)
+    (Metrics.quantile b.Load.latency_us 0.99);
+  (* A different load seed draws a different arrival stream. *)
+  let c = run_poisson ~sys_seed:21L ~load_seed:8L ~batch_max:16 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (c.Load.offered <> a.Load.offered || c.Load.completed <> a.Load.completed)
+
+let test_arrivals_independent_of_protocol () =
+  (* The injector draws from its own PRNG, so the offered workload is
+     identical even when the system under it consumes engine randomness
+     differently (here: radically different batching). *)
+  let a = run_poisson ~sys_seed:21L ~load_seed:7L ~batch_max:1 in
+  let b = run_poisson ~sys_seed:21L ~load_seed:7L ~batch_max:64 in
+  Alcotest.(check int) "same arrival count across batch sizes" a.Load.offered b.Load.offered
+
+let test_backlog_bounded_and_shedding_counted () =
+  (* One client, offered load far past what it can serve, tiny backlog: the
+     surplus is shed and accounted for, and the backlog drains by the end. *)
+  let rt = make ~n_clients:1 () in
+  let load =
+    Load.create ~arrivals:Load.Fixed ~max_backlog:50 ~rate_per_s:20_000.0
+      ~duration_us:200_000 rt
+  in
+  (match Load.run load with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let s = Load.stats load in
+  Alcotest.(check int) "offered = rate x duration" 4_000 s.Load.offered;
+  Alcotest.(check bool) "surplus shed" true (s.Load.shed > 0);
+  Alcotest.(check bool) "backlog respected its bound" true (s.Load.backlog_peak <= 50);
+  Alcotest.(check int) "every admitted arrival completed" s.Load.started s.Load.completed;
+  Alcotest.(check int) "arrival accounting closes" s.Load.offered
+    (s.Load.started + s.Load.shed);
+  Alcotest.(check bool) "window throughput positive" true (Load.throughput_per_s load > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "fixed-rate arrival count" `Quick test_fixed_rate_arrival_count;
+    Alcotest.test_case "poisson deterministic under seed" `Quick
+      test_poisson_deterministic_under_seed;
+    Alcotest.test_case "arrivals independent of protocol" `Quick
+      test_arrivals_independent_of_protocol;
+    Alcotest.test_case "backlog bounded, shedding counted" `Quick
+      test_backlog_bounded_and_shedding_counted;
+  ]

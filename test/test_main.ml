@@ -18,6 +18,7 @@ let () =
       ("view-change", Test_view_change.suite);
       ("lint", Test_lint.suite);
       ("batching", Test_batching.suite);
+      ("load", Test_load.suite);
       ("stack", Test_stack.suite);
       ("conformance", Test_conformance.suite);
       ("cross-backend-digest", Test_cross_backend_digest.suite);

@@ -68,6 +68,36 @@ let test_json_canonical () =
   Alcotest.(check string) "sorted keys, canonical floats, NaN -> null"
     {|{"a":2.0,"b":1,"c":null}|} (Json.to_string j)
 
+let test_json_parse_roundtrip () =
+  let j =
+    Json.obj
+      [
+        ("counts", Json.List [ Json.Int 0; Json.Int (-3); Json.Int max_int ]);
+        ("flag", Json.Bool true);
+        ("floats", Json.List [ Json.Float 2.0; Json.Float 0.015625; Json.Float (-1.5e9) ]);
+        ("missing", Json.Null);
+        ("nested", Json.obj [ ("s", Json.Str "quote\" slash\\ tab\t ctl\x01") ]);
+      ]
+  in
+  (* to_string o of_string is the identity on the module's own output —
+     both compact and pretty. *)
+  List.iter
+    (fun rendered ->
+      match Json.of_string rendered with
+      | Ok parsed -> Alcotest.(check string) "round trip" (Json.to_string j) (Json.to_string parsed)
+      | Error e -> Alcotest.fail e)
+    [ Json.to_string j; Json.to_string_pretty j ];
+  (* Int/Float distinction survives: "2.0" parses as Float, "2" as Int. *)
+  (match Json.of_string "[2,2.0]" with
+  | Ok (Json.List [ Json.Int 2; Json.Float 2.0 ]) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "number type mangled");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted malformed %S" bad)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "\"open"; "tru"; "{\"a\":1}x"; "" ]
+
 let test_trace_events () =
   let tr = Trace.create () in
   (* Attribute order as given must not matter. *)
@@ -131,6 +161,7 @@ let suite =
     Alcotest.test_case "registration conflicts" `Quick test_registration_conflicts;
     Alcotest.test_case "reset keeps registrations" `Quick test_reset_keeps_registrations;
     Alcotest.test_case "json canonical form" `Quick test_json_canonical;
+    Alcotest.test_case "json parse round-trips" `Quick test_json_parse_roundtrip;
     Alcotest.test_case "trace renders sorted attrs" `Quick test_trace_events;
     Alcotest.test_case "trace honours its limit" `Quick test_trace_limit;
     Alcotest.test_case "same-seed runs trace identically" `Quick test_trace_determinism;
