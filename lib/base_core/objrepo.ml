@@ -97,7 +97,9 @@ let preserve_current t i =
     t.cps
 
 let modify t i =
-  if i < 0 || i >= n_objects t then invalid_arg "Objrepo.modify: bad object index";
+  Base_util.Invariant.require
+    (i >= 0 && i < n_objects t)
+    "Objrepo.modify: bad object index";
   preserve_current t i;
   Hashtbl.replace t.dirty i ()
 
@@ -128,13 +130,18 @@ let checkpoints t = t.cps
 
 let find_checkpoint t ~seq = List.find_opt (fun cp -> cp.seq = seq) t.cps
 
+(* Total over the index: [i] typically arrives off the wire (a FETCH for
+   this checkpoint), so an out-of-range request answers [None] rather than
+   letting the wrapper see an index it never promised to handle. *)
 let object_at t ~seq i =
-  match find_checkpoint t ~seq with
-  | None -> None
-  | Some cp -> (
-    match Hashtbl.find_opt cp.copies i with
-    | Some v -> Some v
-    | None -> Some (t.wrapper.Service.get_obj i))
+  if i < 0 || i >= n_objects t then None
+  else
+    match find_checkpoint t ~seq with
+    | None -> None
+    | Some cp -> (
+      match Hashtbl.find_opt cp.copies i with
+      | Some v -> Some v
+      | None -> Some (t.wrapper.Service.get_obj i))
 
 let current_tree t =
   flush_dirty t;

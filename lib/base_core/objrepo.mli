@@ -55,7 +55,9 @@ val find_checkpoint : t -> seq:int -> checkpoint option
 
 val object_at : t -> seq:int -> int -> string option
 (** Value of object [i] as of checkpoint [seq] (copy if modified since,
-    otherwise the current value via the abstraction function). *)
+    otherwise the current value via the abstraction function).  [None] if
+    no checkpoint is held at [seq] or [i] is out of range — the index
+    usually comes off the wire, so the function is total over it. *)
 
 val current_tree : t -> Partition_tree.t
 (** The tree with all dirty digests refreshed. *)

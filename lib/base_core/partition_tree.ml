@@ -13,8 +13,8 @@ let level_widths ~n_leaves ~branching =
   1 :: up [] n_leaves
 
 let create ~n_leaves ~branching =
-  if n_leaves < 1 then invalid_arg "Partition_tree.create: need at least one leaf";
-  if branching < 2 then invalid_arg "Partition_tree.create: branching must be >= 2";
+  Base_util.Invariant.require (n_leaves >= 1) "Partition_tree.create: need at least one leaf";
+  Base_util.Invariant.require (branching >= 2) "Partition_tree.create: branching must be >= 2";
   let widths = level_widths ~n_leaves ~branching in
   let nodes = Array.of_list (List.map (fun w -> Array.make w Digest.zero) widths) in
   let t = { b = branching; nodes } in
@@ -44,7 +44,7 @@ let leaf t i = t.nodes.(levels t - 1).(i)
 let root t = t.nodes.(0).(0)
 
 let child_span t ~level ~index =
-  if level >= levels t - 1 then invalid_arg "Partition_tree.child_span: leaf level";
+  Base_util.Invariant.require (level < levels t - 1) "Partition_tree.child_span: leaf level";
   let first = index * t.b in
   let last = min ((index + 1) * t.b) (width t ~level:(level + 1)) - 1 in
   (first, last)

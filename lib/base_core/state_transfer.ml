@@ -68,20 +68,23 @@ let serve repo msg =
     | None -> None)
   | Fetch_meta { seq; level; index } -> (
     match Objrepo.find_checkpoint repo ~seq with
-    | Some cp when level < Partition_tree.levels cp.Objrepo.tree - 1
+    | Some cp when level >= 0 && index >= 0
+                   && level < Partition_tree.levels cp.Objrepo.tree - 1
                    && index < Partition_tree.width cp.Objrepo.tree ~level ->
       let children = Partition_tree.children cp.Objrepo.tree ~level ~index in
       Some (Meta_reply { seq; level; index; children })
     | Some _ | None -> None)
-  | Fetch_obj { seq; index; off; max_bytes } -> (
-    match Objrepo.object_at repo ~seq index with
-    | Some data ->
-      let total = String.length data in
-      if off < 0 || off > total || max_bytes <= 0 then None
-      else
-        let len = min max_bytes (total - off) in
-        Some (Obj_reply { seq; index; off; total; data = String.sub data off len })
-    | None -> None)
+  | Fetch_obj { seq; index; off; max_bytes } ->
+    if index < 0 || index >= Objrepo.n_objects repo then None
+    else (
+      match Objrepo.object_at repo ~seq index with
+      | Some data ->
+        let total = String.length data in
+        if off < 0 || off > total || max_bytes <= 0 then None
+        else
+          let len = min max_bytes (total - off) in
+          Some (Obj_reply { seq; index; off; total; data = String.sub data off len })
+      | None -> None)
   | Head_reply _ | Meta_reply _ | Obj_reply _ -> None
 
 (* --- fetcher ---------------------------------------------------------------- *)
@@ -264,7 +267,7 @@ let pick_source t =
     | Some s ->
       s.quarantine <- 0;
       s
-    | None -> invalid_arg "State_transfer: no fetch sources")
+    | None -> Base_util.Invariant.violated "State_transfer: no fetch sources")
 
 (* Admit queued work into the window. *)
 let pump t =
@@ -349,7 +352,7 @@ let broadcast_head t =
 
 let start ?(params = default_params) ?(trace = fun _ -> ()) ~repo ~sources ~target_seq
     ~target_digest ~send ~on_complete () =
-  if sources = [] then invalid_arg "State_transfer.start: no sources";
+  Base_util.Invariant.require (sources <> []) "State_transfer.start: no sources";
   let t =
     {
       repo;
@@ -520,6 +523,10 @@ let handle_obj_reply t ~from ~index ~off ~total ~data =
         let n = Array.length ofe.of_have in
         if c >= n || ofe.of_have.(c) then ()  (* duplicate: ignore *)
         else begin
+          (* Recompute the offset from the validated chunk number: [c] is
+             in-range here, so [off] is provably inside the buffer, which
+             the wire value alone is not. *)
+          let off = c * chunk in
           let expect = min chunk (ofe.of_total - off) in
           if String.length data <> expect then reject ()
           else begin

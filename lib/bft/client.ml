@@ -35,7 +35,9 @@ type t = {
 }
 
 let create ?metrics ~config ~id ~keychain ~net () =
-  if id < (config : Types.config).n then invalid_arg "Client.create: id collides with a replica";
+  Base_util.Invariant.require
+    (id >= (config : Types.config).n)
+    "Client.create: id collides with a replica";
   (* Latency is a streaming histogram, not a per-request list: registration
      is get-or-create, so every client built over the same registry shares
      one [bft.client.latency_us] series and memory stays O(buckets) no

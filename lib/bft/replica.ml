@@ -30,6 +30,7 @@ type stats = {
   mutable fetches : int;
   mutable rejected_macs : int;
   mutable rejected_decode : int;
+  mutable rejected_insane : int;  (* well-formed but protocol-implausible messages *)
 }
 
 (* Protocol-phase instrumentation: latency histograms over the local
@@ -47,6 +48,7 @@ type obs = {
   m_cp_interval : Base_obs.Metrics.histogram;
   c_reject_mac : Base_obs.Metrics.counter;
   c_reject_decode : Base_obs.Metrics.counter;
+  c_reject_insane : Base_obs.Metrics.counter;
   c_equivocation : Base_obs.Metrics.counter;
   mutable vc_started : int64;  (* -1 when no view change is in progress *)
   mutable last_cp : int64;  (* timestamp of the previous checkpoint; -1 before the first *)
@@ -64,6 +66,7 @@ let make_obs metrics =
     m_cp_interval = h "bft.checkpoint_interval_us";
     c_reject_mac = Base_obs.Metrics.counter metrics "bft.reject.mac";
     c_reject_decode = Base_obs.Metrics.counter metrics "bft.reject.decode";
+    c_reject_insane = Base_obs.Metrics.counter metrics "bft.reject.insane";
     c_equivocation = Base_obs.Metrics.counter metrics "bft.equivocation_detected";
     vc_started = -1L;
     last_cp = -1L;
@@ -770,8 +773,13 @@ let vc_table t view =
     Hashtbl.replace t.vcs view tbl;
     tbl
 
-(* Compute the new-view pre-prepare set O from a view-change set. *)
-let compute_o v' (vc_list : M.view_change list) =
+(* Compute the new-view pre-prepare set O from a view-change set.  The
+   rebuilt window is capped at [log_window] slots below [max_s]: honest
+   view-changes only carry prepared proofs within one window of their
+   stable checkpoint, so the cap is invisible to them, while a Byzantine
+   proof claiming a far-away [pp_seq] can no longer make this loop (and
+   the pre-prepares it allocates) arbitrarily long. *)
+let compute_o ~log_window v' (vc_list : M.view_change list) =
   let min_s = List.fold_left (fun acc vc -> max acc vc.M.last_stable) 0 vc_list in
   let max_s =
     List.fold_left
@@ -779,8 +787,10 @@ let compute_o v' (vc_list : M.view_change list) =
         List.fold_left (fun acc p -> max acc p.M.pp_seq) acc vc.M.prepared)
       min_s vc_list
   in
+  let count = min (max_s - min_s) log_window in
   let o = ref [] in
-  for seq = max_s downto min_s + 1 do
+  for k = 0 to count - 1 do
+    let seq = max_s - k in
     let best =
       List.fold_left
         (fun acc vc ->
@@ -889,7 +899,7 @@ and check_new_view t v' =
     let tbl = vc_table t v' in
     if Hashtbl.length tbl >= Types.quorum t.config then begin
       let vc_list = List.map snd (sorted_bindings tbl) in
-      let min_s, o = compute_o v' vc_list in
+      let min_s, o = compute_o ~log_window:t.config.log_window v' vc_list in
       let summary = List.map (fun vc -> (vc.M.replica, vc.M.last_stable)) vc_list in
       broadcast t
         (M.New_view { nv_view = v'; nv_view_changes = summary; nv_pre_prepares = o });
@@ -897,8 +907,30 @@ and check_new_view t v' =
     end
   end
 
+(* A view-change passes the MAC check on its own authority, so every field
+   is still just the sender's claim.  Before it enters the [vcs] table —
+   where [compute_o] and the liveness rule consume it as fact — require
+   the claims to be mutually plausible: non-negative watermarks, and every
+   prepared proof within one log window above the stable checkpoint (the
+   only place an honest replica can have prepared anything).  A proof
+   outside that range could otherwise widen the reconstructed new-view
+   window to an attacker-chosen span. *)
+let vc_sane t (vc : M.view_change) =
+  vc.last_stable >= 0
+  && List.for_all
+       (fun (p : M.prepared_proof) ->
+         p.pp_seq > vc.last_stable
+         && p.pp_seq <= vc.last_stable + t.config.log_window
+         && p.pp_view >= 0 && p.pp_view < vc.new_view
+         && List.length p.pp_requests <= t.config.batch_max)
+       vc.prepared
+
 let handle_view_change t sender (vc : M.view_change) =
-  if sender = vc.replica && vc.new_view > 0 then begin
+  if not (vc_sane t vc) then begin
+    t.stats.rejected_insane <- t.stats.rejected_insane + 1;
+    Base_obs.Metrics.incr t.obs.c_reject_insane
+  end
+  else if sender = vc.replica && vc.new_view > 0 then begin
     Hashtbl.replace (vc_table t vc.new_view) sender vc;
     (* Liveness rule: join the smallest view for which f+1 replicas already
        asked for a view change above ours. *)
@@ -921,6 +953,23 @@ let handle_view_change t sender (vc : M.view_change) =
     check_new_view t vc.new_view
   end
 
+(* Shape check on a NEW-VIEW before we adopt any of its numbers: the
+   claimed stable seqnos must be non-negative and every bundled
+   pre-prepare must sit inside one log window above the highest claimed
+   checkpoint, in the new view itself.  Without this a Byzantine primary
+   could teleport [next_seq] (and thus the whole log window) to an
+   arbitrary seqno of its choosing. *)
+let nv_sane t (nv : M.new_view) =
+  let min_s = List.fold_left (fun acc (_, s) -> max acc s) 0 nv.nv_view_changes in
+  nv.nv_view > 0
+  && List.for_all (fun (_, s) -> s >= 0) nv.nv_view_changes
+  && List.for_all
+       (fun (pp : M.pre_prepare) ->
+         pp.view = nv.nv_view
+         && pp.seq > min_s
+         && pp.seq <= min_s + t.config.log_window)
+       nv.nv_pre_prepares
+
 let handle_new_view t sender (nv : M.new_view) =
   let v' = nv.nv_view in
   if sender = Types.primary t.config v' && v' >= t.view && sender <> t.id then begin
@@ -931,10 +980,16 @@ let handle_new_view t sender (nv : M.new_view) =
       List.filter_map (fun (r, _) -> Hashtbl.find_opt tbl r) nv.nv_view_changes
     in
     let verifiable = List.length vcs_used = List.length nv.nv_view_changes in
+    let sane = nv_sane t nv in
+    if not sane then begin
+      t.stats.rejected_insane <- t.stats.rejected_insane + 1;
+      Base_obs.Metrics.incr t.obs.c_reject_insane
+    end;
     let ok =
-      if not verifiable then List.length nv.nv_view_changes >= Types.quorum t.config
+      if not sane then false
+      else if not verifiable then List.length nv.nv_view_changes >= Types.quorum t.config
       else begin
-        let min_s, o = compute_o v' vcs_used in
+        let min_s, o = compute_o ~log_window:t.config.log_window v' vcs_used in
         ignore min_s;
         List.length o = List.length nv.nv_pre_prepares
         && List.for_all2
@@ -1045,9 +1100,16 @@ let handle_status t sender (st : M.status_msg) =
     | Some _ | None -> ());
     if st.st_view = t.view && st.st_last_exec < t.last_exec then begin
       let upper = min t.last_exec (st.st_h + t.config.log_window) in
+      (* A Byzantine STATUS can claim an arbitrarily low [st_last_exec];
+         iterating from it would replay (and allocate protocol messages
+         for) an attacker-chosen number of slots.  An honest laggard's gap
+         within [upper] never exceeds the log window, so cap the replay
+         count there and serve the top of the range. *)
+      let count = min (upper - st.st_last_exec) t.config.log_window in
       let unreplayable = ref false in
-      for seq = st.st_last_exec + 1 to upper do
-        match Hashtbl.find_opt t.entries seq with
+      for off = 1 to count do
+        let seq = upper - count + off in
+        (match Hashtbl.find_opt t.entries seq with
         | Some ({ pre_prepare = Some pp; _ } as entry) when pp.view = t.view ->
           if Types.primary t.config pp.view = t.id then
             send_one t ~dst:sender (M.Pre_prepare pp)
@@ -1062,7 +1124,7 @@ let handle_status t sender (st : M.status_msg) =
              void in this view and will never be re-run. *)
           unreplayable := true
         | Some _ -> ()
-        | None -> unreplayable := true
+        | None -> unreplayable := true)
       done;
       (* The laggard cannot be fed messages for part of its gap; give it a
          state-transfer target instead by checkpointing our current state
@@ -1158,6 +1220,7 @@ let create ?metrics ~config ~id ~keychain ~net ~app () =
           fetches = 0;
           rejected_macs = 0;
           rejected_decode = 0;
+          rejected_insane = 0;
         };
       obs = make_obs metrics;
     }

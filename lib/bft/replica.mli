@@ -60,6 +60,10 @@ type stats = {
   mutable fetches : int;
   mutable rejected_macs : int;
   mutable rejected_decode : int;  (** wire bytes that failed to decode *)
+  mutable rejected_insane : int;
+      (** well-formed, authenticated messages whose claims are
+          protocol-implausible (e.g. prepared proofs outside the log
+          window above the claimed checkpoint) *)
 }
 
 type t

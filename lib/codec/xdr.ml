@@ -5,7 +5,7 @@ exception Decode_error of string
 let encoder () = Buffer.create 256
 
 let u32 buf v =
-  if v < 0 || v > 0xffffffff then invalid_arg "Xdr.u32: out of range";
+  Base_util.Invariant.require (v >= 0 && v <= 0xffffffff) "Xdr.u32: out of range";
   Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff));
   Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
   Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));

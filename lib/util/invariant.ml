@@ -1,0 +1,5 @@
+exception Violation of string
+
+let require cond msg = if not cond then raise (Violation msg)
+
+let violated msg = raise (Violation msg)

@@ -1,0 +1,22 @@
+(** Checked internal invariants.
+
+    [require cond msg] replaces the [if not cond then invalid_arg msg]
+    idiom at trust boundaries.  Two reasons it exists as a named helper
+    rather than raw [invalid_arg]:
+
+    - The taint lint (basecheck --taint) registers it as a [require]-kind
+      sanitizer: code after [require (0 <= n && n <= cap) _] is analyzed
+      under the condition's refinements, so the bounds check it performs
+      is machine-verified rather than waived as prose.
+    - [Violation] is distinct from [Invalid_argument], so protocol tests
+      can assert that malformed *wire* input is rejected by validation
+      (returning [None]/ignoring) and never reaches an internal invariant
+      crash. *)
+
+exception Violation of string
+
+val require : bool -> string -> unit
+(** [require cond msg] raises [Violation msg] unless [cond] holds. *)
+
+val violated : string -> 'a
+(** [violated msg] raises [Violation msg]; marks unreachable branches. *)

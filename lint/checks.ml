@@ -8,7 +8,7 @@
    allowlist policy.  Suppression is never inline: a waiver is a
    [(file, rule, justification)] entry in lint/allowlist.sexp. *)
 
-type rule = D1 | D2 | D3 | D4 | E1 | E2
+type rule = D1 | D2 | D3 | D4 | E1 | E2 | B1 | B2 | B3
 
 let rule_name = function
   | D1 -> "D1"
@@ -17,6 +17,9 @@ let rule_name = function
   | D4 -> "D4"
   | E1 -> "E1"
   | E2 -> "E2"
+  | B1 -> "B1"
+  | B2 -> "B2"
+  | B3 -> "B3"
 
 let rule_of_name = function
   | "D1" -> Some D1
@@ -25,9 +28,12 @@ let rule_of_name = function
   | "D4" -> Some D4
   | "E1" -> Some E1
   | "E2" -> Some E2
+  | "B1" -> Some B1
+  | "B2" -> Some B2
+  | "B3" -> Some B3
   | _ -> None
 
-let all_rules = [ D1; D2; D3; D4; E1; E2 ]
+let all_rules = [ D1; D2; D3; D4; E1; E2; B1; B2; B3 ]
 
 type finding = { file : string; line : int; rule : rule; msg : string }
 
@@ -63,6 +69,16 @@ let e1_applies rel =
    may deliberately drop results (e.g. warm-up runs). *)
 let e2_applies rel = has_prefix ~prefix:"lib/" rel
 
+(* B1/B3: the taint backend polices the wire→trust boundary in library code;
+   executables consume already-validated simulator output.  B2
+   (verify-before-mutate) only makes sense where MAC-carrying protocol
+   messages are handled. *)
+let b1_applies rel = has_prefix ~prefix:"lib/" rel
+
+let b2_applies rel = has_prefix ~prefix:"lib/bft/" rel
+
+let b3_applies rel = has_prefix ~prefix:"lib/" rel
+
 (* Shared by the syntactic (Parsetree) and typed (Typedtree) backends so
    the two passes agree on where each rule is in force. *)
 let rule_applies rule rel =
@@ -72,6 +88,9 @@ let rule_applies rule rel =
   | D4 -> d4_applies rel
   | E1 -> e1_applies rel
   | E2 -> e2_applies rel
+  | B1 -> b1_applies rel
+  | B2 -> b2_applies rel
+  | B3 -> b3_applies rel
 
 (* --- identifier helpers --------------------------------------------------- *)
 

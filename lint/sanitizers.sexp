@@ -1,0 +1,86 @@
+; Taint registry for the basecheck taint backend (lint/typed_taint.ml).
+;
+; Entry kinds:
+;   (source    (module M) (name f) [(prefix p)] [(param N)])
+;       Without (param N): every call result of the matching function is
+;       wire-tainted.  With (param N): parameter N (0-based, declaration
+;       order) of the *definition* of M.f is wire-tainted while analyzing
+;       that function — the entry points handed raw network input.
+;   (sanitizer (module M) (name f|prefix p) (kind K) [(arg N)])
+;       kind clean      — result carries no taint (e.g. digest of data)
+;       kind validator  — result is a validated value, clean
+;       kind guard      — raises unless arg N is in bounds; vouches for
+;                         the idents of arg N in the rest of the sequence
+;       kind require    — raises unless the condition arg N holds; the
+;                         rest of the sequence gets the condition's
+;                         then-branch refinements
+;       kind predicate  — bool test; the then-branch of an [if] on it
+;                         cleans the idents of arg N
+;   (verifier  (module M) (name f))
+;       MAC/digest verification: marks the handler path verified (B2) and
+;       returns a clean bool.
+;   (sink      (module M) (name f) | (field f) | (setfield f)
+;              (rule B1|B2|B3) [(arg_label l)] [(pos N)] (msg "..."))
+;       Trusted sink: a wire-tainted argument (or assigned value, for
+;       setfield) is a finding under the given rule.  (field f) matches
+;       method-style calls through a record field (net.set_timer ...);
+;       (arg_label l) restricts to the labeled argument l, (pos N) to the
+;       Nth positional argument (0-based, labels excluded).
+
+; --- sources: where attacker bytes enter typed code -------------------------
+
+(source (module Message) (name decode_body))
+(source (module Xdr) (prefix read_))
+(source (module Replica) (name receive) (param 1))
+(source (module Replica) (name receive_wire) (param 2))
+(source (module Replica) (name receive_wire) (param 3))
+(source (module Client) (name receive) (param 1))
+(source (module State_transfer) (name serve) (param 1))
+(source (module State_transfer) (name handle_reply) (param 2))
+
+; --- sanitizers -------------------------------------------------------------
+
+(sanitizer (module Xdr) (name need) (kind guard) (arg 1))
+(sanitizer (module Invariant) (name require) (kind require) (arg 0))
+(sanitizer (module Replica) (name in_window) (kind predicate) (arg 1))
+(sanitizer (module Types) (name is_replica) (kind predicate) (arg 1))
+(sanitizer (module Digest_t) (kind clean))
+; Digest equality is a cryptographic check: inside `if Digest_t.equal a b`
+; the compared value is certified.  Must come after the module-wide clean
+; entry — later entries win, and the predicate is the more specific rule
+; for `equal`.
+(sanitizer (module Digest_t) (name equal) (kind predicate) (arg 0))
+(sanitizer (module Partition_tree) (name levels) (kind clean))
+(sanitizer (module Partition_tree) (name width) (kind clean))
+
+; --- verifiers (B2 / MAC checks) --------------------------------------------
+
+(verifier (module Message) (name verify))
+(verifier (module Auth) (name check))
+
+; --- trusted sinks ----------------------------------------------------------
+
+(sink (module Partition_tree) (name node) (rule B3)
+  (msg "wire-tainted partition-tree coordinate; bounds-check level/index first"))
+(sink (module Partition_tree) (name children) (rule B3)
+  (msg "wire-tainted partition-tree coordinate; bounds-check level/index first"))
+(sink (module Partition_tree) (name child_span) (rule B3)
+  (msg "wire-tainted partition-tree coordinate; bounds-check level/index first"))
+(sink (module Objrepo) (name object_at) (rule B3) (pos 1)
+  (msg "wire-tainted object index; bounds-check against Objrepo.n_objects first"))
+(sink (module Objrepo) (name modify) (rule B3)
+  (msg "wire-tainted object index; bounds-check against Objrepo.n_objects first"))
+(sink (field get_obj) (rule B3)
+  (msg "wire-tainted index reaches the service get_obj hook; validate it first"))
+(sink (field put_objs) (rule B3)
+  (msg "wire-tainted data reaches the service put_objs hook; validate it first"))
+(sink (field set_timer) (arg_label after_us) (rule B3)
+  (msg "wire-tainted timer duration; derive timeouts from config, not the wire"))
+(sink (setfield view) (rule B3)
+  (msg "wire-tainted value assigned to protocol watermark field; validate it first"))
+(sink (setfield next_seq) (rule B3)
+  (msg "wire-tainted value assigned to protocol watermark field; validate it first"))
+(sink (setfield h) (rule B3)
+  (msg "wire-tainted value assigned to protocol watermark field; validate it first"))
+(sink (setfield last_exec) (rule B3)
+  (msg "wire-tainted value assigned to protocol watermark field; validate it first"))

@@ -1,0 +1,11 @@
+(* Cross-module interprocedural fixture: the wire length flows through
+   [Taint_helper.launder] — a different compilation unit — before the
+   allocation.  Only a joint fixpoint over both units' summaries can
+   connect the source to the sink. *)
+
+module Xdr = struct
+  let read_u32 (_d : string) = 0
+end
+
+(* B1: tainted despite the cross-module detour. *)
+let alloc d = Bytes.create (Taint_helper.launder (Xdr.read_u32 d))

@@ -1,0 +1,23 @@
+(* Taint-backend fixture: mutations correctly dominated by verification,
+   plus a mutate-only function (no verification anywhere, so not a
+   MAC-carrying handler path) — zero findings. *)
+
+module Message = struct
+  let verify (_env : string) = true
+end
+
+type t = { mutable view : int; mutable ticks : int }
+
+(* Mutation only in the verified branch. *)
+let handle t env v = if Message.verify env then t.view <- v
+
+(* Verification sequenced strictly before the mutation. *)
+let handle2 t env v =
+  let ok = Message.verify env in
+  if ok then begin
+    t.view <- v;
+    t.ticks <- t.ticks + 1
+  end
+
+(* No verifier on any path: a local bookkeeping function, not a handler. *)
+let tick t = t.ticks <- t.ticks + 1

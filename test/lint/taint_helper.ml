@@ -1,0 +1,6 @@
+(* Cross-module half of the interprocedural fixture: a separate
+   compilation unit whose summary must carry the result's dependency on
+   the parameter over to callers in other units (see b1_cross_bad.ml).
+   Itself clean: no sources, no sinks. *)
+
+let launder x = x + 0

@@ -150,10 +150,56 @@ let test_xdr_bit_flips () =
       xdr_readers
   done
 
+(* Bounded allocation: a decoder must never allocate in proportion to a
+   *claimed* length, only to the bytes actually present — a four-byte
+   message claiming a 2^31-entry list must fail before allocating, not
+   after.  This is the semantic property behind the taint backend's B1
+   waiver for the decoder ([lib/codec/xdr.ml] in lint/allowlist.sexp):
+   the waiver stands only while this test holds. *)
+let alloc_bounded ~what ?(bound = 1_000_000.) f =
+  let before = Gc.allocated_bytes () in
+  (match f () with _ -> () | exception _ -> ());
+  let allocated = Gc.allocated_bytes () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: allocation bounded by input, got %.0f bytes" what allocated)
+    true (allocated < bound)
+
+let test_huge_length_claims_bounded_alloc () =
+  (* Raw XDR readers on a tiny buffer whose only word claims a huge size. *)
+  List.iter
+    (fun claim ->
+      let e = Xdr.encoder () in
+      Xdr.u32 e claim;
+      let raw = Xdr.contents e in
+      List.iter
+        (fun (name, reader) ->
+          alloc_bounded
+            ~what:(Printf.sprintf "xdr %s on length claim %d" name claim)
+            (fun () -> reader (Xdr.decoder raw)))
+        xdr_readers)
+    [ 0x7FFF_FFFF; 0xFFF_FFFF; 1_000_000 ];
+  (* The full message decoder: overwrite every aligned 32-bit word of each
+     valid encoding with a huge value — this systematically hits every
+     nested length/count prefix — and decode the still short buffer. *)
+  List.iter
+    (fun body ->
+      let valid = Bytes.of_string (M.encode_body body) in
+      for w = 0 to (Bytes.length valid / 4) - 1 do
+        let saved = Bytes.get_int32_be valid (w * 4) in
+        Bytes.set_int32_be valid (w * 4) 0x7FFF_FFFFl;
+        alloc_bounded
+          ~what:(Printf.sprintf "%s with word %d set to 2^31-1" (M.label body) w)
+          (fun () -> M.decode_body (Bytes.to_string valid));
+        Bytes.set_int32_be valid (w * 4) saved
+      done)
+    sample_bodies
+
 let suite =
   [
     Alcotest.test_case "decode_body: random bytes are total" `Quick
       test_decode_random_bytes;
+    Alcotest.test_case "decoders: huge length claims allocate O(input)" `Quick
+      test_huge_length_claims_bounded_alloc;
     Alcotest.test_case "decode_body: bit flips / truncation are total" `Quick
       test_decode_bit_flips;
     Alcotest.test_case "xdr readers: random bytes are total" `Quick

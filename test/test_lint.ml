@@ -5,6 +5,7 @@
 
 module C = Basecheck_lib.Checks
 module Typed = Basecheck_lib.Typed_checks
+module Taint = Basecheck_lib.Typed_taint
 
 (* Fixtures sit next to the test executable; fall back to cwd so the suite
    also runs from the source tree. *)
@@ -98,6 +99,98 @@ let test_typed_env_reconstruction () =
      silently; the fixture units reconstruct fully. *)
   Alcotest.(check int) "no environment failures" 0 !Typed.env_failures
 
+(* --- taint backend ---------------------------------------------------------- *)
+
+(* The tests run against the repo's real registry, so they also pin that
+   the checked-in sanitizers.sexp parses and keeps the entries the
+   fixtures rely on. *)
+let registry =
+  lazy
+    (let candidates =
+       [
+         Filename.concat (Filename.dirname Sys.executable_name) "../lint/sanitizers.sexp";
+         "../lint/sanitizers.sexp";
+         "lint/sanitizers.sexp";
+       ]
+     in
+     let path =
+       match List.find_opt Sys.file_exists candidates with
+       | Some p -> p
+       | None -> Alcotest.fail "sanitizers.sexp not found near the test executable"
+     in
+     match Taint.load_registry path with
+     | Ok rg -> rg
+     | Error e -> Alcotest.failf "registry: %s" e)
+
+let taint_findings ?(rel_dir = "lib/bft/") name =
+  let rel = rel_dir ^ name ^ ".ml" in
+  match Taint.check_cmt ~registry:(Lazy.force registry) ~rel (fixture_cmt name) with
+  | Error e -> Alcotest.failf "%s: %s" name e
+  | Ok fs -> List.map (fun f -> (f.C.line, C.rule_name f.C.rule)) fs
+
+(* Exact (line, rule) pins in both directions: the bad fixture flags
+   precisely these sites, the ok fixture (same shapes, sanitized) flags
+   nothing. *)
+let test_taint_b1 () =
+  Alcotest.(check (list (pair int string)))
+    "b1_bad: allocation, byte range, loop bound, via-helper"
+    [ (11, "B1"); (14, "B1"); (18, "B1"); (25, "B1") ]
+    (taint_findings "b1_bad");
+  Alcotest.(check (list (pair int string))) "b1_ok: all sanitized" []
+    (taint_findings "b1_ok")
+
+let test_taint_b2 () =
+  Alcotest.(check (list (pair int string)))
+    "b2_bad: mutation sequenced before verification"
+    [ (14, "B2"); (19, "B2") ]
+    (taint_findings "b2_bad");
+  Alcotest.(check (list (pair int string))) "b2_ok: verify dominates or no handler" []
+    (taint_findings "b2_ok")
+
+let test_taint_b3 () =
+  Alcotest.(check (list (pair int string)))
+    "b3_bad: watermark setfield, timer field call, tree coordinate"
+    [ (19, "B3"); (22, "B3"); (25, "B3") ]
+    (taint_findings "b3_bad");
+  Alcotest.(check (list (pair int string))) "b3_ok: all validated" []
+    (taint_findings "b3_ok")
+
+let test_taint_cross_module () =
+  (* The source-to-sink chain crosses a compilation-unit boundary; only
+     the joint fixpoint over both units connects it. *)
+  let pairs =
+    [
+      ("lib/bft/taint_helper.ml", fixture_cmt "taint_helper");
+      ("lib/bft/b1_cross_bad.ml", fixture_cmt "b1_cross_bad");
+    ]
+  in
+  match Taint.check_cmts ~registry:(Lazy.force registry) pairs with
+  | Error e -> Alcotest.failf "cross-module fixture: %s" e
+  | Ok fs ->
+    Alcotest.(check (list (triple string int string)))
+      "only the caller's allocation is flagged, through the helper"
+      [ ("lib/bft/b1_cross_bad.ml", 11, "B1") ]
+      (List.map (fun f -> (f.C.file, f.C.line, C.rule_name f.C.rule)) fs)
+
+let test_taint_blind_spots () =
+  (* Each documented blind spot (doc/lint.md) stays a blind spot until
+     deliberately closed: the fixture must produce zero findings. *)
+  Alcotest.(check (list (pair int string)))
+    "taint_blind: heap laundering, implicit flow, recursion depth, \
+     trusted-parameter bound, deferred callback"
+    []
+    (taint_findings "taint_blind")
+
+let test_taint_rule_scoping () =
+  (* B2 is scoped to lib/bft/: the same handler outside it is silent. *)
+  Alcotest.(check (list (pair int string)))
+    "B2 limited to lib/bft/" []
+    (taint_findings ~rel_dir:"lib/base_core/" "b2_bad")
+
+let test_taint_env_reconstruction () =
+  Alcotest.(check int) "no environment failures during taint runs" 0
+    !Typed.env_failures
+
 let test_allowlist_roundtrip () =
   let tmp = Filename.temp_file "allowlist" ".sexp" in
   let ws =
@@ -127,5 +220,13 @@ let suite =
       test_typed_d3_cross_item_sort;
     Alcotest.test_case "typed: environments reconstruct" `Quick
       test_typed_env_reconstruction;
+    Alcotest.test_case "taint: B1 both directions" `Quick test_taint_b1;
+    Alcotest.test_case "taint: B2 both directions" `Quick test_taint_b2;
+    Alcotest.test_case "taint: B3 both directions" `Quick test_taint_b3;
+    Alcotest.test_case "taint: cross-module chain" `Quick test_taint_cross_module;
+    Alcotest.test_case "taint: blind spots stay pinned" `Quick test_taint_blind_spots;
+    Alcotest.test_case "taint: rule scoping" `Quick test_taint_rule_scoping;
+    Alcotest.test_case "taint: environments reconstruct" `Quick
+      test_taint_env_reconstruction;
     Alcotest.test_case "allowlist round-trip" `Quick test_allowlist_roundtrip;
   ]

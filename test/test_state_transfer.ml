@@ -135,6 +135,35 @@ let test_serve_unknown_checkpoint () =
   Alcotest.(check bool) "unknown seq unserved" true
     (St.serve src (St.Fetch_head { seq = 99 }) = None)
 
+let test_serve_malformed_coordinates () =
+  (* Byzantine fetch requests with out-of-range coordinates: every one
+     must be answered [None] — never a crash, never a wrapper upcall with
+     an index it was not promised.  (Regression for the taint findings on
+     serve's Fetch_meta/Fetch_obj paths.) *)
+  let _, src = synthetic ~seed:1L in
+  ignore (checkpoint src ~seq:1);
+  let unserved m = St.serve src m = None in
+  Alcotest.(check bool) "negative meta level" true
+    (unserved (St.Fetch_meta { seq = 1; level = -1; index = 0 }));
+  Alcotest.(check bool) "negative meta index" true
+    (unserved (St.Fetch_meta { seq = 1; level = 0; index = -5 }));
+  Alcotest.(check bool) "huge meta level" true
+    (unserved (St.Fetch_meta { seq = 1; level = max_int; index = 0 }));
+  Alcotest.(check bool) "huge meta index" true
+    (unserved (St.Fetch_meta { seq = 1; level = 0; index = max_int }));
+  Alcotest.(check bool) "negative object index" true
+    (unserved (St.Fetch_obj { seq = 1; index = -1; off = 0; max_bytes = 64 }));
+  Alcotest.(check bool) "object index past the repo" true
+    (unserved (St.Fetch_obj { seq = 1; index = n_objects; off = 0; max_bytes = 64 }));
+  Alcotest.(check bool) "negative offset" true
+    (unserved (St.Fetch_obj { seq = 1; index = 0; off = -8; max_bytes = 64 }));
+  Alcotest.(check bool) "offset past the object" true
+    (unserved (St.Fetch_obj { seq = 1; index = 0; off = obj_bytes + 1; max_bytes = 64 }));
+  (* object_at itself is total over the index. *)
+  Alcotest.(check bool) "object_at out of range" true
+    (Objrepo.object_at src ~seq:1 (-3) = None
+    && Objrepo.object_at src ~seq:1 n_objects = None)
+
 let test_cow_checkpoint_values () =
   (* A checkpoint serves the values as of its creation, not current ones. *)
   let store, repo = synthetic ~seed:2L in
@@ -199,6 +228,8 @@ let suite =
       test_byzantine_object_replies_rejected;
     Alcotest.test_case "byzantine head rejected" `Quick test_byzantine_head_rejected;
     Alcotest.test_case "unknown checkpoint unserved" `Quick test_serve_unknown_checkpoint;
+    Alcotest.test_case "malformed fetch coordinates unserved" `Quick
+      test_serve_malformed_coordinates;
     Alcotest.test_case "cow checkpoint values" `Quick test_cow_checkpoint_values;
     Alcotest.test_case "cow multiple checkpoints" `Quick test_cow_multiple_checkpoints;
     Alcotest.test_case "cow copies once per interval" `Quick test_cow_copies_only_once;

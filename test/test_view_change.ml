@@ -121,9 +121,113 @@ let test_corruption_window () =
   in
   Alcotest.(check bool) "replicas rejected corrupted wire bytes" true (rejects > 0)
 
+(* Rebuild the runtime's keychains (deterministic from the engine seed) so
+   a test adversary can seal protocol messages with *valid* MACs: the
+   attack below is well-formed and authenticated, only its claims are
+   implausible. *)
+let chains_for ~seed sys =
+  Base_crypto.Auth.create
+    ~seed:(Int64.add seed 7919L)
+    ~n_principals:(Runtime.config sys).Base_bft.Types.n_principals
+
+let settle sys ms =
+  Engine.run ~until:(Sim_time.add (Runtime.now sys) (Sim_time.of_ms ms)) (Runtime.engine sys)
+
+module Message = Base_bft.Message
+module Digest = Base_crypto.Digest_t
+
+(* A VIEW-CHANGE passing the MAC check but claiming a prepared proof far
+   outside the log window above its own claimed checkpoint: counted as
+   insane and dropped before it can widen the view-change window
+   (regression for the taint pass's B3 findings on view adoption). *)
+let test_insane_view_change_rejected () =
+  let seed = 41L in
+  let sys, _ =
+    Helpers.make_system ~seed ~client_timeout_us:50_000 ~viewchange_timeout_us:100_000 ()
+  in
+  Alcotest.(check string) "healthy write" "ok" (Helpers.set sys ~client:0 1 "base");
+  let chains = chains_for ~seed sys in
+  let config = Runtime.config sys in
+  let r1 = (Runtime.replica sys 1).Runtime.replica in
+  let before = (Replica.stats r1).Replica.rejected_insane in
+  let insane_vc =
+    Message.View_change
+      {
+        new_view = 1;
+        last_stable = 0;
+        stable_digest = Digest.of_string "x";
+        prepared =
+          [
+            {
+              Message.pp_view = 0;
+              pp_seq = 1_000_000;
+              pp_digest = Digest.of_string "y";
+              pp_requests = [];
+              pp_nondet = "";
+            };
+          ];
+        replica = 2;
+      }
+  in
+  let env = Message.seal chains.(2) ~sender:2 ~n_receivers:config.Base_bft.Types.n insane_vc in
+  Engine.send (Runtime.engine sys) ~src:2 ~dst:1 (Runtime.Bft env);
+  settle sys 50;
+  Alcotest.(check int) "insane VC counted" (before + 1) (Replica.stats r1).Replica.rejected_insane;
+  Alcotest.(check int) "MAC was fine" 0 (Replica.stats r1).Replica.rejected_macs;
+  Alcotest.(check int) "view did not move" 0 (Replica.view r1);
+  Alcotest.(check bool) "metrics counter agrees" true (counter sys "bft.reject.insane" > 0);
+  Alcotest.(check string) "system still live" "ok" (Helpers.set sys ~client:0 2 "after")
+
+(* A NEW-VIEW from the legitimate next primary whose bundled pre-prepares
+   would teleport the log window to an attacker-chosen seqno: the shape
+   check rejects it before [next_seq] is adopted. *)
+let test_insane_new_view_rejected () =
+  let seed = 42L in
+  let sys, _ =
+    Helpers.make_system ~seed ~client_timeout_us:50_000 ~viewchange_timeout_us:100_000 ()
+  in
+  Alcotest.(check string) "healthy write" "ok" (Helpers.set sys ~client:0 1 "base");
+  let chains = chains_for ~seed sys in
+  let config = Runtime.config sys in
+  let p1 = Base_bft.Types.primary config 1 in
+  let dst = (p1 + 1) mod config.Base_bft.Types.n in
+  let rd = (Runtime.replica sys dst).Runtime.replica in
+  let before = (Replica.stats rd).Replica.rejected_insane in
+  let insane_nv =
+    Message.New_view
+      {
+        nv_view = 1;
+        nv_view_changes = [ (0, 0); (2, 0); (3, 0) ];
+        nv_pre_prepares =
+          [
+            {
+              Message.view = 1;
+              seq = 5_000_000;
+              digest = Digest.of_string "z";
+              requests = [];
+              nondet = "";
+            };
+          ];
+      }
+  in
+  let env =
+    Message.seal chains.(p1) ~sender:p1 ~n_receivers:config.Base_bft.Types.n insane_nv
+  in
+  Engine.send (Runtime.engine sys) ~src:p1 ~dst (Runtime.Bft env);
+  settle sys 50;
+  Alcotest.(check int) "insane NV counted" (before + 1)
+    (Replica.stats rd).Replica.rejected_insane;
+  Alcotest.(check bool) "next_seq not teleported" true (Replica.last_executed rd < 1_000);
+  settle sys 500;
+  Alcotest.(check string) "system still live" "ok" (Helpers.set sys ~client:0 2 "after")
+
 let suite =
   [
     Alcotest.test_case "primary crash installs a new view" `Quick test_primary_crash;
+    Alcotest.test_case "insane view-change is counted and dropped" `Quick
+      test_insane_view_change_rejected;
+    Alcotest.test_case "insane new-view is counted and rejected" `Quick
+      test_insane_new_view_rejected;
     Alcotest.test_case "equivocating primary is detected and deposed" `Quick
       test_equivocating_primary;
     Alcotest.test_case "faultplan storm keeps liveness" `Slow test_faultplan_storm;
