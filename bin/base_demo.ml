@@ -202,15 +202,19 @@ let metrics_cmd =
             c.Engine.sent_bytes c.Engine.recv_msgs c.Engine.dropped_msgs)
         (Engine.label_counters (Runtime.engine rt));
       Printf.printf "\nrecovery timelines (simulated seconds):\n";
-      let sec v = Int64.to_float v /. 1e6 in
       List.iter
         (fun tl ->
-          let milestone v = if Int64.compare v 0L < 0 then "-" else Printf.sprintf "%.3f" (sec v) in
+          let dur = function
+            | Some us -> Printf.sprintf "%.3f" (float_of_int us /. 1e6)
+            | None -> "-"
+          in
           Printf.printf
-            "replica %d: start %.3f  reboot_done %s  fetch_done %s  %d objects, %d bytes\n"
-            tl.Runtime.tl_rid (sec tl.Runtime.tl_start_us)
-            (milestone tl.Runtime.tl_reboot_done_us)
-            (milestone tl.Runtime.tl_fetch_done_us)
+            "replica %d: start %.3f  %s %s  window %s  %d objects, %d bytes\n"
+            tl.Runtime.tl_rid
+            (Int64.to_float tl.Runtime.tl_start_us /. 1e6)
+            (if tl.Runtime.tl_migrated then "promote" else "reboot")
+            (dur (Runtime.timeline_handoff_us tl))
+            (dur (Runtime.timeline_window_us tl))
             tl.Runtime.tl_objects tl.Runtime.tl_bytes)
         (Runtime.recovery_timelines rt);
       let st = Runtime.st_totals rt in

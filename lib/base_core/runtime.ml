@@ -28,23 +28,63 @@ type recovery_stats = {
   mutable total_bytes_fetched : int;
 }
 
-(* One proactive-recovery episode: reboot, then differential fetch.  The
+(* One proactive-recovery episode: either reboot-in-place then differential
+   fetch, or (migration) a standby promotion then a catch-up fetch.  The
    [-1L] sentinels mean "not reached yet" — an episode cut short (e.g. the
-   run ended mid-reboot) keeps them. *)
+   run ended mid-reboot) keeps them; all duration math goes through the
+   total [span] helper below, never raw field subtraction. *)
 type recovery_timeline = {
   tl_rid : int;
+  tl_migrated : bool;
   tl_start_us : int64;
-  mutable tl_reboot_done_us : int64;
+  mutable tl_reboot_done_us : int64;  (* in-place episodes *)
+  mutable tl_promote_done_us : int64;  (* migration episodes *)
+  mutable tl_staleness_seqs : int;
+      (* migration: certified checkpoint head minus the promoted standby's
+         synced seqno at promotion time (-1 until promotion completes) *)
+  mutable tl_staleness_us : int64;
+      (* migration: promotion time minus the standby's last sync completion *)
   mutable tl_fetch_done_us : int64;
   mutable tl_objects : int;
   mutable tl_bytes : int;
 }
 
+(* [until - since] as a total duration: [None] whenever the earlier or the
+   later milestone was never reached.  The sentinel encoding stays private
+   to this module; everything downstream (report JSON, benches) consumes
+   options. *)
+let span ~since ~until =
+  if Int64.compare since 0L >= 0 && Int64.compare until since >= 0 then
+    Some (Int64.to_int (Int64.sub until since))
+  else None
+
+let timeline_window_us tl = span ~since:tl.tl_start_us ~until:tl.tl_fetch_done_us
+
+let timeline_handoff_us tl =
+  if tl.tl_migrated then span ~since:tl.tl_start_us ~until:tl.tl_promote_done_us
+  else span ~since:tl.tl_start_us ~until:tl.tl_reboot_done_us
+
+(* Shadow-sync state of one warm standby (the [standby] field of its node). *)
+type standby_sync = {
+  mutable ss_synced_seq : int;  (* -1 before the first completed shadow sync *)
+  mutable ss_synced_at_us : int64;
+  mutable ss_root : Digest.t;  (* abstract-state root at [ss_synced_seq] *)
+  mutable ss_client_rows : (int * int64 * string) list;
+  mutable ss_promotions : int;
+}
+
 type replica_node = {
   rid : int;
   replica : Replica.t;
-  repo : Objrepo.t;
-  wrapper : Service.wrapper;
+  mutable repo : Objrepo.t;
+  mutable wrapper : Service.wrapper;
+      (* [repo]/[wrapper] are mutable because promotion swaps them between
+         the slot node and the standby node: the standby machine's warm
+         state takes over the slot identity, the demoted machine keeps the
+         suspect state under the standby identity.  All service upcalls read
+         them through the node record, so the swap takes effect atomically
+         for certificate handling, execution and fetch serving alike. *)
+  standby : standby_sync option;  (* [Some] iff this node is a warm standby *)
   mutable fetcher : State_transfer.t option;
   mutable st_retries : int;
   mutable st_progress : int;
@@ -70,11 +110,16 @@ type t = {
   config : Types.config;
   chains : Auth.keychain array;
   replicas : replica_node array;
+  standbys : replica_node array;  (* warm pool, node ids n .. n+s-1 *)
   clients : Client.t array;
   orchestrator : int;  (** pseudo-node owning recovery watchdog timers *)
   mutable recovery_period_us : int;
   mutable reboot_us : int;
+  mutable promote_us : int;  (* simulated role-switch handshake time *)
+  mutable migrate : bool;  (* watchdog recovers by promotion, not reboot *)
   mutable recovery_on : bool;
+  mutable pending_promotions : (int * int) list;  (* (slot, standby) handshakes *)
+  mutable roll_cursor : int;  (* next slot a faultplan [promote] fills *)
   metrics : Base_obs.Metrics.t;
   trace : Base_obs.Trace.t;
   (* System-wide state-transfer totals, accumulated as per-fetch deltas so
@@ -104,6 +149,10 @@ let replica t i = t.replicas.(i)
 
 let replicas t = t.replicas
 
+let standbys t = t.standbys
+
+let standby t i = t.standbys.(i - t.config.Types.n)
+
 let client t i = t.clients.(i)
 
 let now t = Engine.now t.engine
@@ -122,7 +171,12 @@ let trace_event t name attrs = Base_obs.Trace.event t.trace ~ts:(now t) ~name at
 
 let st_send t ~src ~dst body = Engine.send t.engine ~src ~dst (St { from = src; body })
 
-let st_retry_period_us = 200_000
+(* Retry/stall-poll cadence for an active fetch.  Under load the group
+   certifies a fresh checkpoint every few tens of milliseconds, so a fetch
+   that loses the race with garbage collection must notice and re-target on
+   that timescale: a coarse retry period quantizes every unlucky fetch —
+   and hence the recovery window — up to multiples of itself. *)
+let st_retry_period_us = 50_000
 
 (* Verification failures tolerated on one fetch before we conclude the
    target itself is bad (stale or fabricated) and re-certify.  Rejections
@@ -139,6 +193,14 @@ let close_timeline t node =
     tl.tl_objects <- node.recovery_stats.last_objects_fetched;
     tl.tl_bytes <- node.recovery_stats.last_bytes_fetched;
     node.timeline <- None;
+    (* The episode's window of vulnerability, as a derived duration; raw
+       timestamps never leave this module. *)
+    (match timeline_window_us tl with
+    | Some w ->
+      Base_obs.Metrics.observe
+        (Base_obs.Metrics.histogram t.metrics "base.recovery.window_us")
+        (float_of_int w)
+    | None -> ());
     trace_event t "recovery.fetch_done"
       [
         ("bytes", string_of_int tl.tl_bytes);
@@ -150,16 +212,22 @@ let close_timeline t node =
 (* Abandon the current fetch and restart against the freshest certified
    checkpoint — the escape hatch for a garbage-collected target, a target
    digest we can no longer verify anything against, or an inverse
-   abstraction that failed to reproduce the certified state. *)
+   abstraction that failed to reproduce the certified state.  A standby has
+   no protocol status to repair and no urgency: dropping the fetcher is
+   enough, the next shadow-sync tick re-targets on its own. *)
 let retarget_fetch t node ~reason =
   node.fetcher <- None;
-  Replica.abort_fetch node.replica;
   trace_event t "st.retarget" [ ("reason", reason); ("rid", string_of_int node.rid) ];
-  Replica.initiate_fetch node.replica
+  match node.standby with
+  | Some _ -> ()
+  | None ->
+    Replica.abort_fetch node.replica;
+    Replica.initiate_fetch node.replica
 
-(* Forward declaration hack: replica creation needs an app record whose
-   closures refer to the node being created. *)
-let start_fetch t node ~seq ~digest =
+(* Common fetcher construction for both the recovery path and the standby
+   shadow sync; only the completion continuation differs.  Sources are
+   always the active replicas (standbys are never authoritative). *)
+let launch_fetch t node ~target_seq ~target_digest ~on_complete =
   let params =
     {
       State_transfer.default_params with
@@ -172,28 +240,9 @@ let start_fetch t node ~seq ~digest =
     State_transfer.start ~params
       ~trace:(fun line ->
         trace_event t "st.debug" [ ("line", line); ("rid", string_of_int node.rid) ])
-      ~repo:node.repo ~sources ~target_seq:seq ~target_digest:digest
+      ~repo:node.repo ~sources ~target_seq ~target_digest
       ~send:(fun ~dst body -> st_send t ~src:node.rid ~dst body)
-      ~on_complete:(fun ~seq ~app_root ~client_rows ->
-        node.fetcher <- None;
-        (* Register the transferred checkpoint so this replica can serve it,
-           then resume the protocol. *)
-        let root = Objrepo.take_checkpoint node.repo ~seq ~client_rows in
-        if not (Digest.equal root app_root) then begin
-          (* The inverse abstraction produced a state whose digest does not
-             match the certified checkpoint: the local implementation is
-             faulty in a way reinstalation did not mask.  Degrade gracefully —
-             count it and re-run the transfer — instead of crashing the
-             replica (a crash here would turn one faulty node into a
-             liveness hit for the group). *)
-          Base_obs.Metrics.incr (Base_obs.Metrics.counter t.metrics "st.inverse_divergence");
-          retarget_fetch t node ~reason:"inverse-divergence"
-        end
-        else begin
-          close_timeline t node;
-          Replica.fetch_complete node.replica ~seq ~app_digest:app_root ~client_rows
-        end)
-      ()
+      ~on_complete ()
   in
   if State_transfer.finished fetcher then ()
   else begin
@@ -205,6 +254,89 @@ let start_fetch t node ~seq ~digest =
       (Engine.set_timer t.engine ~node:node.rid ~after:(Sim_time.of_us st_retry_period_us)
          ~tag:"st_retry" ~payload:0)
   end
+
+(* Forward declaration hack: replica creation needs an app record whose
+   closures refer to the node being created. *)
+let start_fetch t node ~seq ~digest =
+  launch_fetch t node ~target_seq:seq ~target_digest:digest
+    ~on_complete:(fun ~seq ~app_root ~client_rows ->
+      node.fetcher <- None;
+      (* Register the transferred checkpoint so this replica can serve it,
+         then resume the protocol. *)
+      let root = Objrepo.take_checkpoint node.repo ~seq ~client_rows in
+      if not (Digest.equal root app_root) then begin
+        (* The inverse abstraction produced a state whose digest does not
+           match the certified checkpoint: the local implementation is
+           faulty in a way reinstalation did not mask.  Degrade gracefully —
+           count it and re-run the transfer — instead of crashing the
+           replica (a crash here would turn one faulty node into a
+           liveness hit for the group). *)
+        Base_obs.Metrics.incr (Base_obs.Metrics.counter t.metrics "st.inverse_divergence");
+        retarget_fetch t node ~reason:"inverse-divergence"
+      end
+      else begin
+        close_timeline t node;
+        Replica.fetch_complete node.replica ~seq ~app_digest:app_root ~client_rows
+      end)
+
+(* --- standby shadow sync ---------------------------------------------------- *)
+
+(* Pool warmth is bounded by this cadence: a promoted standby's catch-up
+   fetch covers at most one period's worth of writes (plus the sync in
+   flight), so the period must sit well below the recovery period for the
+   window of vulnerability to stay handshake-dominated. *)
+let shadow_sync_period_us = 50_000
+
+(* Chase the stable checkpoint watermark: fetch the freshest certified
+   checkpoint into the standby's repo through the normal self-verifying
+   pipeline, then register it so (a) the next sync is an incremental diff
+   against it and (b) a promoted standby can serve it to other fetchers. *)
+let start_shadow_sync t node ~seq ~digest =
+  node.recovery_stats.last_objects_fetched <- 0;
+  node.recovery_stats.last_bytes_fetched <- 0;
+  launch_fetch t node ~target_seq:seq ~target_digest:digest
+    ~on_complete:(fun ~seq ~app_root ~client_rows ->
+      node.fetcher <- None;
+      let root = Objrepo.take_checkpoint node.repo ~seq ~client_rows in
+      if not (Digest.equal root app_root) then
+        (* The standby's own implementation diverged under inverse
+           abstraction; count it and let the next tick re-sync. *)
+        Base_obs.Metrics.incr (Base_obs.Metrics.counter t.metrics "st.inverse_divergence")
+      else begin
+        Objrepo.discard_below node.repo seq;
+        let client_digest = State_transfer.combined_digest ~app_root ~client_rows in
+        Replica.standby_note_synced node.replica ~seq ~digest:client_digest;
+        (match node.standby with
+        | Some ss ->
+          ss.ss_synced_seq <- seq;
+          ss.ss_synced_at_us <- Engine.now t.engine;
+          ss.ss_root <- app_root;
+          ss.ss_client_rows <- client_rows
+        | None -> ());
+        Base_obs.Metrics.incr ~by:node.recovery_stats.last_bytes_fetched
+          (Base_obs.Metrics.counter t.metrics "base.standby.shadow_bytes");
+        trace_event t "standby.synced"
+          [
+            ("bytes", string_of_int node.recovery_stats.last_bytes_fetched);
+            ("rid", string_of_int node.rid);
+            ("seq", string_of_int seq);
+          ]
+      end)
+
+let arm_shadow_timer t node =
+  ignore
+    (Engine.set_timer t.engine ~node:node.rid
+       ~after:(Sim_time.of_us shadow_sync_period_us) ~tag:"shadow_sync" ~payload:0)
+
+let shadow_tick t node =
+  (match node.fetcher with
+  | Some _ -> ()  (* a sync is in flight; the st_retry chain drives it *)
+  | None -> (
+    match (Replica.fetch_target node.replica, node.standby) with
+    | Some (seq, digest), Some ss when seq > ss.ss_synced_seq ->
+      start_shadow_sync t node ~seq ~digest
+    | (Some _ | None), _ -> ()));
+  arm_shadow_timer t node
 
 let handle_st t node ~from body =
   match body with
@@ -321,8 +453,12 @@ let recover_now ?reboot_us t rid =
     let tl =
       {
         tl_rid = rid;
+        tl_migrated = false;
         tl_start_us = now t;
         tl_reboot_done_us = -1L;
+        tl_promote_done_us = -1L;
+        tl_staleness_seqs = -1;
+        tl_staleness_us = -1L;
         tl_fetch_done_us = -1L;
         tl_objects = 0;
         tl_bytes = 0;
@@ -340,6 +476,80 @@ let recover_now ?reboot_us t rid =
       (Engine.set_timer t.engine ~node:t.orchestrator ~after:(Sim_time.of_us reboot_us)
          ~tag:"reboot_done" ~payload:rid)
   end
+
+(* --- migration-based recovery ---------------------------------------------- *)
+
+(* Freshest promotable standby: it has completed at least one shadow sync,
+   the machine is up, and it is not already half-way through a promotion
+   handshake.  Ties go to the lowest id, keeping runs deterministic. *)
+let eligible_standby t =
+  Array.fold_left
+    (fun best sb ->
+      match sb.standby with
+      | Some ss
+        when ss.ss_synced_seq >= 0
+             && Engine.node_is_up t.engine sb.rid
+             && not (List.exists (fun (_, b) -> b = sb.rid) t.pending_promotions) -> (
+        match best with
+        | Some (_, best_seq) when best_seq >= ss.ss_synced_seq -> best
+        | Some _ | None -> Some (sb, ss.ss_synced_seq))
+      | Some _ | None -> best)
+    None t.standbys
+  |> Option.map fst
+
+(* Begin promoting standby [sb] into replica slot [slot]: take the slot
+   machine offline and start the role-switch handshake (key distribution,
+   address takeover), modelled as a [promote_us] delay on the orchestrator.
+   If the pair is not promotable right now, degrade to in-place recovery —
+   the watchdog's job is to recover the slot, one way or the other. *)
+let promote_specific ?promote_us t ~slot ~standby:sb =
+  let promote_us = Option.value promote_us ~default:t.promote_us in
+  let node = t.replicas.(slot) in
+  let promotable =
+    (not node.recovering)
+    && (match sb.standby with Some ss -> ss.ss_synced_seq >= 0 | None -> false)
+    && Engine.node_is_up t.engine sb.rid
+    && not (List.exists (fun (s, b) -> s = slot || b = sb.rid) t.pending_promotions)
+  in
+  if not promotable then recover_now t slot
+  else begin
+    node.recovering <- true;
+    node.recovery_stats.recoveries <- node.recovery_stats.recoveries + 1;
+    let tl =
+      {
+        tl_rid = slot;
+        tl_migrated = true;
+        tl_start_us = now t;
+        tl_reboot_done_us = -1L;
+        tl_promote_done_us = -1L;
+        tl_staleness_seqs = -1;
+        tl_staleness_us = -1L;
+        tl_fetch_done_us = -1L;
+        tl_objects = 0;
+        tl_bytes = 0;
+      }
+    in
+    node.timeline <- Some tl;
+    t.timelines <- tl :: t.timelines;
+    trace_event t "recovery.promote_start"
+      [ ("sb", string_of_int sb.rid); ("slot", string_of_int slot) ];
+    (* Abandon in-flight fetches on both sides: the slot machine goes down,
+       and the standby's shadow state must stay frozen at its last completed
+       sync for the duration of the handshake. *)
+    node.fetcher <- None;
+    Replica.abort_fetch node.replica;
+    sb.fetcher <- None;
+    Engine.set_node_up t.engine slot false;
+    t.pending_promotions <- (slot, sb.rid) :: t.pending_promotions;
+    ignore
+      (Engine.set_timer t.engine ~node:t.orchestrator ~after:(Sim_time.of_us promote_us)
+         ~tag:"promote_done" ~payload:slot)
+  end
+
+let promote_now ?promote_us t slot =
+  match eligible_standby t with
+  | Some sb -> promote_specific ?promote_us t ~slot ~standby:sb
+  | None -> recover_now t slot
 
 (* --- chaos: fault-plan execution and the Byzantine-primary adversary ------- *)
 
@@ -373,8 +583,30 @@ let exec_fault t (ev : Faultplan.event) =
       | Some fetcher when not (State_transfer.finished fetcher) ->
         retarget_fetch t node ~reason:"reboot"
       | Some _ | None -> ()
+    end
+    else if Types.is_standby t.config n then begin
+      (* A rebooted standby lost its shadow-sync timer (and any in-flight
+         sync) with the crash; drop the dead fetcher and restart the tick. *)
+      let sb = t.standbys.(n - t.config.Types.n) in
+      sb.fetcher <- None;
+      arm_shadow_timer t sb
     end;
     trace_event t "fault.reboot" [ ("rid", string_of_int n) ]
+  | Faultplan.Promote sbid ->
+    if Types.is_standby t.config sbid then begin
+      (* Faultplan promotions roll through the replica slots in order, like
+         the migrating watchdog would; the verb exists to stage promotion
+         races (promote just after crash-standby) deterministically. *)
+      let slot = t.roll_cursor mod t.config.Types.n in
+      t.roll_cursor <- t.roll_cursor + 1;
+      trace_event t "fault.promote" [ ("sb", string_of_int sbid); ("slot", string_of_int slot) ];
+      promote_specific t ~slot ~standby:t.standbys.(sbid - t.config.Types.n)
+    end
+  | Faultplan.Crash_standby sbid ->
+    if Types.is_standby t.config sbid then begin
+      Engine.set_node_up t.engine sbid false;
+      trace_event t "fault.crash_standby" [ ("sb", string_of_int sbid) ]
+    end
   | Faultplan.Partition (a, b) ->
     Engine.partition t.engine a b;
     trace_event t "fault.partition"
@@ -449,7 +681,21 @@ let on_orchestrator_timer t ~tag ~payload =
   | "fault" -> if payload >= 0 && payload < Array.length t.plan then exec_fault t t.plan.(payload)
   | "watchdog" ->
     if t.recovery_on then begin
-      recover_now t payload;
+      (if t.migrate then
+         (* The migrating watchdog never takes a healthy replica down
+            without a warm spare to put in its place: with no eligible
+            standby (pool still cold, all mid-handshake, or all crashed)
+            it skips the round and retries next period.  Degrading to an
+            in-place reboot here would turn a cold pool into gratuitous
+            downtime — that fallback is reserved for promotion races,
+            where the slot machine is already down. *)
+         match eligible_standby t with
+         | Some sb -> promote_specific t ~slot:payload ~standby:sb
+         | None ->
+           Base_obs.Metrics.incr
+             (Base_obs.Metrics.counter t.metrics "base.standby.rounds_skipped");
+           trace_event t "recovery.promote_skipped" [ ("slot", string_of_int payload) ]
+       else recover_now t payload);
       ignore
         (Engine.set_timer t.engine ~node:t.orchestrator
            ~after:(Sim_time.of_us t.recovery_period_us) ~tag:"watchdog" ~payload)
@@ -462,13 +708,109 @@ let on_orchestrator_timer t ~tag ~payload =
     | None -> ());
     trace_event t "recovery.reboot_done" [ ("rid", string_of_int payload) ];
     begin_reintegration t node
+  | "promote_done" -> (
+    match List.assoc_opt payload t.pending_promotions with
+    | None -> ()
+    | Some sbid ->
+      t.pending_promotions <- List.filter (fun (s, _) -> s <> payload) t.pending_promotions;
+      let node = t.replicas.(payload) in
+      let sb = t.standbys.(sbid - t.config.Types.n) in
+      let viable =
+        Engine.node_is_up t.engine sbid
+        && (match sb.standby with Some ss -> ss.ss_synced_seq >= 0 | None -> false)
+      in
+      if not viable then begin
+        (* Promotion race: the standby died (or was wiped) mid-handshake.
+           The slot machine is already down, so fall back to the in-place
+           path — reboot it and differential-fetch as usual.  The episode's
+           timeline keeps [tl_migrated = true] with a null handoff, which is
+           exactly what happened: an attempted migration that degraded. *)
+        Base_obs.Metrics.incr
+          (Base_obs.Metrics.counter t.metrics "base.standby.promotions_aborted");
+        trace_event t "recovery.promote_aborted"
+          [ ("sb", string_of_int sbid); ("slot", string_of_int payload) ];
+        ignore
+          (Engine.set_timer t.engine ~node:t.orchestrator ~after:(Sim_time.of_us t.reboot_us)
+             ~tag:"reboot_done" ~payload)
+      end
+      else begin
+        let ss =
+          match sb.standby with
+          | Some ss -> ss
+          | None -> raise (Internal_error "Runtime: standby node without sync state")
+        in
+        Engine.set_node_up t.engine payload true;
+        (* Key handoff: fresh session keys for both identities — the slot
+           because a different machine now speaks for it, the demoted
+           machine because its old keys are suspect. *)
+        Auth.refresh_keys t.chains payload;
+        Auth.refresh_keys t.chains sbid;
+        (* The swap itself: the standby's warm repo and implementation take
+           over the slot identity; the suspect state moves to the standby
+           identity to be wiped at leisure. *)
+        let slot_repo = node.repo and slot_wrapper = node.wrapper in
+        node.repo <- sb.repo;
+        node.wrapper <- sb.wrapper;
+        sb.repo <- slot_repo;
+        sb.wrapper <- slot_wrapper;
+        ss.ss_promotions <- ss.ss_promotions + 1;
+        Base_obs.Metrics.incr (Base_obs.Metrics.counter t.metrics "base.standby.promotions");
+        let lag = Int64.sub (now t) ss.ss_synced_at_us in
+        Base_obs.Metrics.observe
+          (Base_obs.Metrics.histogram t.metrics "base.standby.lag_us")
+          (Int64.to_float lag);
+        (match node.timeline with
+        | Some tl ->
+          tl.tl_promote_done_us <- now t;
+          tl.tl_staleness_us <- lag;
+          let head =
+            match Replica.fetch_target node.replica with
+            | Some (seq, _) -> seq
+            | None -> ss.ss_synced_seq
+          in
+          tl.tl_staleness_seqs <- max 0 (head - ss.ss_synced_seq)
+        | None -> ());
+        node.recovery_stats.last_objects_fetched <- 0;
+        node.recovery_stats.last_bytes_fetched <- 0;
+        Replica.on_reboot node.replica;
+        (* Install the shadow-synced checkpoint as the slot's recovered
+           state.  [fetch_complete] handles the stale-standby edge itself:
+           if the group's stable watermark overtook the shadow seqno while
+           the handshake ran, it starts a differential fetch instead of
+           resuming from unusable state. *)
+        Replica.fetch_complete node.replica ~seq:ss.ss_synced_seq ~app_digest:ss.ss_root
+          ~client_rows:ss.ss_client_rows;
+        (* Catch up past the shadow watermark when the group moved on but
+           the log gap is still fetchable. *)
+        (match (node.fetcher, Replica.fetch_target node.replica) with
+        | None, Some (seq, digest)
+          when seq > ss.ss_synced_seq && Replica.status node.replica <> Replica.Fetching ->
+          Replica.force_fetch node.replica ~seq ~digest
+        | (Some _ | None), _ -> ());
+        (match node.fetcher with None -> close_timeline t node | Some _ -> ());
+        node.recovering <- false;
+        (* Demotion: the old slot machine is now the next standby.  Wipe its
+           suspect warm state — restart the implementation, recompute every
+           digest, drop cached checkpoints — and let the shadow-sync timer
+           refetch from scratch at leisure. *)
+        ss.ss_synced_seq <- -1;
+        ss.ss_client_rows <- [];
+        sb.wrapper.Service.restart ();
+        Objrepo.rebuild_all_digests sb.repo;
+        Objrepo.discard_below sb.repo max_int;
+        trace_event t "recovery.promote_done"
+          [ ("sb", string_of_int sbid); ("slot", string_of_int payload) ]
+      end)
   | _ -> ()
 
 let disable_proactive_recovery t = t.recovery_on <- false
 
-let enable_proactive_recovery ?(reboot_us = 2_000_000) ~period_us t =
+let enable_proactive_recovery ?(reboot_us = 2_000_000) ?promote_us ?(migrate = false)
+    ~period_us t =
   t.recovery_period_us <- period_us;
   t.reboot_us <- reboot_us;
+  (match promote_us with Some v -> t.promote_us <- v | None -> ());
+  t.migrate <- migrate && Array.length t.standbys > 0;
   t.recovery_on <- true;
   (* Stagger: replica i's watchdog first fires at (i+1) * period / n, so
      less than 1/3 of the replicas are ever recovering together. *)
@@ -527,7 +869,8 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       ~n_principals:config.Types.n_principals
   in
   let n = config.Types.n in
-  let replica_cells = Array.make n None in
+  let group = Types.group_size config in
+  let replica_cells = Array.make group None in
   let t_cell = ref None in
   let the () =
     match !t_cell with
@@ -553,7 +896,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       now_us = (fun () -> Engine.now engine);
     }
   in
-  let make_replica rid =
+  let make_replica ~role rid =
     let wrapper = make_wrapper rid in
     let repo = Objrepo.create ~cache_objs:config.Types.st_cache_objs ~wrapper ~branching () in
     let node_lazy () =
@@ -561,30 +904,38 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       | Some node -> node
       | None -> raise (Internal_error "Runtime: replica node referenced before construction")
     in
+    (* Every app upcall reads [repo]/[wrapper] through the node record (not
+       the construction-time bindings), so a promotion's repo/wrapper swap
+       takes effect for execution and checkpointing alike.  The only
+       exception is the seq-0 checkpoint taken from inside [Replica.create],
+       which necessarily predates the node record. *)
     let app =
       {
         Replica.execute =
           (fun ~client ~operation ~nondet ~read_only ->
-            wrapper.Service.execute ~client ~operation ~nondet ~read_only
-              ~modify:(fun i -> Objrepo.modify repo i));
+            let node = node_lazy () in
+            node.wrapper.Service.execute ~client ~operation ~nondet ~read_only
+              ~modify:(fun i -> Objrepo.modify node.repo i));
         propose_nondet =
           (fun ~operation ->
-            wrapper.Service.propose_nondet ~clock_us:(Engine.local_clock engine rid) ~operation);
+            (node_lazy ()).wrapper.Service.propose_nondet
+              ~clock_us:(Engine.local_clock engine rid) ~operation);
         check_nondet =
           (fun ~operation ~nondet ->
-            wrapper.Service.check_nondet ~clock_us:(Engine.local_clock engine rid) ~operation
-              ~nondet);
+            (node_lazy ()).wrapper.Service.check_nondet
+              ~clock_us:(Engine.local_clock engine rid) ~operation ~nondet);
         take_checkpoint =
           (fun ~seq ->
-            (* At seqno 0 this runs from inside Replica.create, before the
-               node record exists; the client table is necessarily empty. *)
-            let rows =
-              match replica_cells.(rid) with
-              | Some node -> Replica.export_client_table node.replica
-              | None -> []
-            in
-            Objrepo.take_checkpoint repo ~seq ~client_rows:rows);
-        discard_checkpoints_below = (fun seq -> Objrepo.discard_below repo seq);
+            match replica_cells.(rid) with
+            | Some node ->
+              Objrepo.take_checkpoint node.repo ~seq
+                ~client_rows:(Replica.export_client_table node.replica)
+            | None -> Objrepo.take_checkpoint repo ~seq ~client_rows:[]);
+        discard_checkpoints_below =
+          (fun seq ->
+            match replica_cells.(rid) with
+            | Some node -> Objrepo.discard_below node.repo seq
+            | None -> Objrepo.discard_below repo seq);
         start_fetch =
           (fun ~seq ~digest ->
             let node = node_lazy () in
@@ -592,8 +943,21 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       }
     in
     let replica =
-      Replica.create ~metrics ~config ~id:rid ~keychain:chains.(rid) ~net:(replica_net rid)
-        ~app ()
+      Replica.create ~metrics ~role ~config ~id:rid ~keychain:chains.(rid)
+        ~net:(replica_net rid) ~app ()
+    in
+    let standby =
+      match role with
+      | Replica.Active -> None
+      | Replica.Standby ->
+        Some
+          {
+            ss_synced_seq = -1;
+            ss_synced_at_us = -1L;
+            ss_root = Digest.zero;
+            ss_client_rows = [];
+            ss_promotions = 0;
+          }
     in
     let node =
       {
@@ -601,6 +965,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
         replica;
         repo;
         wrapper;
+        standby;
         fetcher = None;
         st_retries = 0;
         st_progress = 0;
@@ -620,10 +985,13 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
     replica_cells.(rid) <- Some node;
     node
   in
-  let replicas = Array.init n make_replica in
+  let replicas = Array.init n (make_replica ~role:Replica.Active) in
+  let standbys =
+    Array.init config.Types.s (fun i -> make_replica ~role:Replica.Standby (n + i))
+  in
   let clients =
     Array.init n_clients (fun k ->
-        let cid = n + k in
+        let cid = group + k in
         let net =
           {
             Client.send = (fun ~dst env -> Engine.send engine ~src:cid ~dst (Bft env));
@@ -645,11 +1013,16 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       config;
       chains;
       replicas;
+      standbys;
       clients;
       orchestrator;
       recovery_period_us = 0;
       reboot_us = 2_000_000;
+      promote_us = 30_000;
+      migrate = false;
       recovery_on = false;
+      pending_promotions = [];
+      roll_cursor = 0;
       metrics;
       trace;
       st_totals =
@@ -671,9 +1044,9 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
     }
   in
   t_cell := Some t;
-  (* Register event handlers. *)
-  Array.iter
-    (fun node ->
+  (* Register event handlers (shared by active replicas and standbys; only
+     actives run the protocol status timer, only standbys the shadow tick). *)
+  let register_node node =
       Engine.add_node engine ~id:node.rid (fun _engine ev ->
           match ev with
           | Engine.Deliver { src; msg = Bft env } ->
@@ -733,9 +1106,19 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
                      ~after:(Sim_time.of_us st_retry_period_us) ~tag:"st_retry" ~payload:0)
               end
             | Some _ | None -> ())
-          | Engine.Timer { tag; payload } -> Replica.on_timer node.replica ~tag ~payload);
+          | Engine.Timer { tag = "shadow_sync"; _ } -> shadow_tick t node
+          | Engine.Timer { tag; payload } -> Replica.on_timer node.replica ~tag ~payload)
+  in
+  Array.iter
+    (fun node ->
+      register_node node;
       Replica.start_status_timer node.replica)
     replicas;
+  Array.iter
+    (fun node ->
+      register_node node;
+      arm_shadow_timer t node)
+    standbys;
   Array.iter
     (fun c ->
       Engine.add_node engine ~id:(Client.id c) (fun _engine ev ->
@@ -812,16 +1195,28 @@ let counters_json (c : Engine.counters) =
       ("sent_msgs", Base_obs.Json.Int c.Engine.sent_msgs);
     ]
 
+(* Episode export: derived durations only, never raw milestone timestamps —
+   a milestone the episode did not reach renders as [null], not as a
+   sentinel the consumer has to know about. *)
 let timeline_json tl =
-  let us v = if Int64.compare v 0L < 0 then Base_obs.Json.Null else Base_obs.Json.Int (Int64.to_int v) in
+  let opt = function Some v -> Base_obs.Json.Int v | None -> Base_obs.Json.Null in
   Base_obs.Json.obj
     [
       ("bytes", Base_obs.Json.Int tl.tl_bytes);
-      ("fetch_done_us", us tl.tl_fetch_done_us);
+      ("handoff_us", opt (timeline_handoff_us tl));
+      ("migrated", Base_obs.Json.Bool tl.tl_migrated);
       ("objects", Base_obs.Json.Int tl.tl_objects);
-      ("reboot_done_us", us tl.tl_reboot_done_us);
       ("rid", Base_obs.Json.Int tl.tl_rid);
+      ( "staleness_seqs",
+        if tl.tl_migrated && tl.tl_staleness_seqs >= 0 then
+          Base_obs.Json.Int tl.tl_staleness_seqs
+        else Base_obs.Json.Null );
+      ( "staleness_us",
+        if tl.tl_migrated && Int64.compare tl.tl_staleness_us 0L >= 0 then
+          Base_obs.Json.Int (Int64.to_int tl.tl_staleness_us)
+        else Base_obs.Json.Null );
       ("start_us", Base_obs.Json.Int (Int64.to_int tl.tl_start_us));
+      ("window_us", opt (timeline_window_us tl));
     ]
 
 let metrics_report t =

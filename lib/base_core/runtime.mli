@@ -36,24 +36,60 @@ type recovery_stats = {
   mutable total_bytes_fetched : int;
 }
 
-(** One proactive-recovery episode.  Timestamps are simulation time; [-1L]
-    means the milestone was not reached (run ended mid-episode). *)
+(** One proactive-recovery episode: either reboot-in-place then
+    differential fetch, or ([tl_migrated]) a standby promotion then a
+    catch-up fetch.  Timestamps are simulation time; [-1L] means the
+    milestone was not reached (run ended mid-episode).  Consume durations
+    through {!timeline_window_us} / {!timeline_handoff_us} — they are total
+    over the sentinels — rather than subtracting raw fields. *)
 type recovery_timeline = {
   tl_rid : int;
+  tl_migrated : bool;
   tl_start_us : int64;
-  mutable tl_reboot_done_us : int64;
+  mutable tl_reboot_done_us : int64;  (** in-place episodes *)
+  mutable tl_promote_done_us : int64;  (** migration episodes *)
+  mutable tl_staleness_seqs : int;
+      (** migration: certified checkpoint head minus the promoted standby's
+          synced seqno at promotion time ([-1] until promotion completes) *)
+  mutable tl_staleness_us : int64;
+      (** migration: promotion time minus the standby's last completed
+          shadow sync *)
   mutable tl_fetch_done_us : int64;
-      (** also set, equal to [tl_reboot_done_us], when there was nothing to
-          fetch *)
+      (** also set, equal to the handoff milestone, when there was nothing
+          to fetch *)
   mutable tl_objects : int;
   mutable tl_bytes : int;
+}
+
+val timeline_window_us : recovery_timeline -> int option
+(** The episode's window of vulnerability: start to fetch-done.  [None] if
+    the episode never completed. *)
+
+val timeline_handoff_us : recovery_timeline -> int option
+(** Start to the role-switch milestone — reboot-done for in-place episodes,
+    promote-done for migrations.  [None] if not reached. *)
+
+(** Shadow-sync state of one warm standby. *)
+type standby_sync = {
+  mutable ss_synced_seq : int;
+      (** seqno of the last fully shadow-synced checkpoint; [-1] before the
+          first sync completes (and again right after the machine is wiped
+          on demotion) *)
+  mutable ss_synced_at_us : int64;
+  mutable ss_root : Digest.t;  (** abstract-state root at [ss_synced_seq] *)
+  mutable ss_client_rows : (int * int64 * string) list;
+  mutable ss_promotions : int;  (** times this pool slot was promoted *)
 }
 
 type replica_node = {
   rid : int;
   replica : Base_bft.Replica.t;
-  repo : Objrepo.t;
-  wrapper : Service.wrapper;
+  mutable repo : Objrepo.t;
+  mutable wrapper : Service.wrapper;
+      (** [repo]/[wrapper] are mutable because promotion swaps them between
+          the slot node and the standby node — the warm state takes over the
+          slot identity, the suspect state is demoted for wiping *)
+  standby : standby_sync option;  (** [Some] iff this node is a warm standby *)
   mutable fetcher : State_transfer.t option;
   mutable st_retries : int;  (** retries of the current fetch before re-targeting *)
   mutable st_progress : int;
@@ -95,6 +131,12 @@ val replica : t -> int -> replica_node
 
 val replicas : t -> replica_node array
 
+val standbys : t -> replica_node array
+(** The warm pool, indexed [0 .. s-1]; node ids are [n .. n+s-1]. *)
+
+val standby : t -> int -> replica_node
+(** Standby by {e node id} (in [n .. n+s-1]). *)
+
 val client : t -> int -> Base_bft.Client.t
 (** Client by index [0 .. n_clients-1]. *)
 
@@ -131,18 +173,31 @@ val set_behavior : t -> int -> Base_bft.Replica.behavior -> unit
 (** {1 Proactive recovery} *)
 
 val enable_proactive_recovery :
-  ?reboot_us:int -> period_us:int -> t -> unit
+  ?reboot_us:int -> ?promote_us:int -> ?migrate:bool -> period_us:int -> t -> unit
 (** Stagger watchdog-driven recoveries so each replica recovers once every
     [period_us], with replicas offset by [period_us / n]; the window of
     vulnerability is roughly [2 * period_us] (a replica may be compromised
     just after its recovery).  [reboot_us] is the simulated reboot time
-    (default 2 s). *)
+    (default 2 s).
+
+    With [migrate = true] (and a non-empty standby pool) the watchdog
+    recovers by {e migration}: it promotes the freshest warm standby into
+    the slot instead of rebooting in place, shrinking the window from
+    reboot-plus-fetch to the role-switch handshake [promote_us] (default
+    30 ms) plus a small catch-up fetch.  When no standby is promotable the
+    watchdog falls back to in-place recovery. *)
 
 val disable_proactive_recovery : t -> unit
 (** Stop scheduling further watchdog recoveries (in-flight ones finish). *)
 
 val recover_now : ?reboot_us:int -> t -> int -> unit
-(** Force one replica through the recovery procedure immediately. *)
+(** Force one replica through the in-place recovery procedure immediately. *)
+
+val promote_now : ?promote_us:int -> t -> int -> unit
+(** Migration recovery of slot [rid] right now: promote the freshest
+    promotable standby into it (in-place fallback when none exists).  The
+    demoted machine joins the pool under the standby's id with its state
+    wiped, and re-syncs at leisure. *)
 
 (** {1 Chaos}
 

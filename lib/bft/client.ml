@@ -36,8 +36,8 @@ type t = {
 
 let create ?metrics ~config ~id ~keychain ~net () =
   Base_util.Invariant.require
-    (id >= (config : Types.config).n)
-    "Client.create: id collides with a replica";
+    (id >= Types.group_size (config : Types.config))
+    "Client.create: id collides with a replica or standby";
   (* Latency is a streaming histogram, not a per-request list: registration
      is get-or-create, so every client built over the same registry shares
      one [bft.client.latency_us] series and memory stays O(buckets) no
@@ -122,24 +122,22 @@ let invoke t ?(read_only = false) ~operation callback =
   | None -> start_request t operation read_only callback
 
 (* Deterministic winner selection: of every result that reached its quorum,
-   take the lexicographically smallest.  Folding over the tally table
-   directly would make the pick hash-order dependent whenever two result
-   values qualify at once — the D3 bug class `basecheck` polices. *)
+   take the lexicographically smallest.  The reply values are snapshotted
+   and sorted before tallying, so equal results are adjacent and the first
+   qualifying run is the smallest winner by construction — no decision ever
+   reads the table in hash order. *)
 let quorum_winner ~needed replies =
-  let counts = Hashtbl.create 4 in
-  Hashtbl.iter
-    (fun _ result ->
-      let c = try Hashtbl.find counts result with Not_found -> 0 in
-      Hashtbl.replace counts result (c + 1))
-    replies;
-  Hashtbl.fold
-    (fun result c acc ->
-      if c >= needed then
-        match acc with
-        | Some best when String.compare best result <= 0 -> acc
-        | Some _ | None -> Some result
-      else acc)
-    counts None
+  let results =
+    Hashtbl.fold (fun _ result acc -> result :: acc) replies []
+    |> List.sort String.compare
+  in
+  let rec scan = function
+    | [] -> None
+    | r :: _ as run ->
+      let same, rest = List.partition (String.equal r) run in
+      if List.length same >= needed then Some r else scan rest
+  in
+  scan results
 
 let check_quorum t p =
   match quorum_winner ~needed:(needed t p.request) p.replies with

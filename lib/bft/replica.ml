@@ -20,6 +20,12 @@ type net = {
 
 type behavior = Honest | Mute | Lie_in_replies | Equivocate
 
+(* A standby holds replica-side keys and collects checkpoint certificates
+   (so the runtime can shadow-sync it and later promote it into a failed
+   replica's slot), but it never votes, proposes, executes, or broadcasts —
+   it is invisible to the agreement protocol. *)
+type role = Active | Standby
+
 type status = Normal | View_changing | Fetching
 
 type stats = {
@@ -102,6 +108,7 @@ type t = {
   keychain : Auth.keychain;
   net : net;
   app : app;
+  role : role;
   mutable behavior : behavior;
   mutable view : Types.view;
   mutable status : status;
@@ -122,6 +129,9 @@ type t = {
   mutable fetch_in_progress : (Types.seqno * Digest.t) option;
   mutable resume_vc_after_fetch : bool;
   peer_views : (int, Types.view) Hashtbl.t;  (* latest STATUS-reported views *)
+  mutable last_nv : M.new_view option;
+      (* the NEW-VIEW this primary broadcast for its current view, kept for
+         retransmission to replicas that were down when the view changed *)
   stats : stats;
   obs : obs;
 }
@@ -238,6 +248,19 @@ let broadcast t body =
     done
   end
 
+(* Checkpoint announcements go to the whole n+s group, sealed so standbys
+   can verify them too: the certificates standbys build from these are
+   their only evidence of what the stable abstract state is, so they must
+   be first-class MACed messages, not hearsay.  With [s = 0] this is
+   exactly [broadcast]. *)
+let broadcast_group t body =
+  if t.behavior <> Mute then begin
+    let env = M.seal t.keychain ~sender:t.id ~n_receivers:(Types.group_size t.config) body in
+    for r = 0 to Types.group_size t.config - 1 do
+      if r <> t.id then t.net.send ~dst:r env
+    done
+  end
+
 let send_reply t (reply : M.reply) =
   let reply =
     match t.behavior with
@@ -320,7 +343,7 @@ and take_checkpoint t =
   t.stats.checkpoints_taken <- t.stats.checkpoints_taken + 1;
   observe_span t.obs.m_cp_interval ~since:t.obs.last_cp ~until:(now t);
   t.obs.last_cp <- now t;
-  broadcast t (M.Checkpoint { seq; digest = d; replica = t.id });
+  broadcast_group t (M.Checkpoint { seq; digest = d; replica = t.id });
   maybe_stable t seq
 
 (* --- execution ---------------------------------------------------------- *)
@@ -688,11 +711,16 @@ let maybe_fetch_check t ~stalled =
   | Some _ | None -> ()
 
 let handle_checkpoint t sender (c : M.checkpoint) =
-  if sender = c.replica && c.seq > t.h then begin
+  (* Only votes from active replicas count: a checkpoint certificate built
+     from f+1 of them always contains a correct replica, which would not
+     hold if clients (or standbys) could stuff the table. *)
+  if sender = c.replica && Types.is_replica t.config sender && c.seq > t.h then begin
     let tbl = cp_table t c.seq in
     Hashtbl.replace tbl sender c.digest;
-    maybe_stable t c.seq;
-    maybe_fetch_check t ~stalled:false
+    if t.role = Active then begin
+      maybe_stable t c.seq;
+      maybe_fetch_check t ~stalled:false
+    end
   end
 
 let initiate_fetch t =
@@ -901,8 +929,9 @@ and check_new_view t v' =
       let vc_list = List.map snd (sorted_bindings tbl) in
       let min_s, o = compute_o ~log_window:t.config.log_window v' vc_list in
       let summary = List.map (fun vc -> (vc.M.replica, vc.M.last_stable)) vc_list in
-      broadcast t
-        (M.New_view { nv_view = v'; nv_view_changes = summary; nv_pre_prepares = o });
+      let nv = { M.nv_view = v'; nv_view_changes = summary; nv_pre_prepares = o } in
+      t.last_nv <- Some nv;
+      broadcast t (M.New_view nv);
       install_new_view t v' min_s o
     end
   end
@@ -1019,7 +1048,7 @@ let on_status_timer t =
      and gossip progress so peers can retransmit what we are missing. *)
   (match Hashtbl.find_opt t.own_cps t.h with
   | Some d when t.h > 0 ->
-    broadcast t (M.Checkpoint { seq = t.h; digest = d; replica = t.id })
+    broadcast_group t (M.Checkpoint { seq = t.h; digest = d; replica = t.id })
   | Some _ | None -> ());
   broadcast t
     (M.Status { st_view = t.view; st_last_exec = t.last_exec; st_h = t.h; st_replica = t.id });
@@ -1059,6 +1088,18 @@ let abort_fetch t =
   t.fetch_in_progress <- None;
   if t.status = Fetching then t.status <- Normal
 
+(* Standby bookkeeping after a completed shadow sync: advance the watermark
+   to the synced checkpoint and drop certificate tables below it, so the
+   certificate store stays bounded however long the standby shadows the
+   group.  Called by the runtime's shadow-sync driver only. *)
+let standby_note_synced t ~seq ~digest =
+  if t.role = Standby && seq > t.h then begin
+    t.h <- seq;
+    t.stable_digest <- digest;
+    t.last_exec <- seq;
+    discard_log_below t seq
+  end
+
 (* A peer announced it is behind us: retransmit, directly to it, the
    protocol messages it needs to make progress — our pre-prepares if we led
    their view of those slots, plus our prepares, commits and checkpoint.
@@ -1092,6 +1133,18 @@ let handle_status t sender (st : M.status_msg) =
       cancel_vc_timer t;
       if has_pending t then start_vc_timer t
     end
+  end;
+  (* A peer stuck in an older view missed the view change while it was down
+     (proactive recovery, crash): a replica rejoining the group this way has
+     no other path back, because clients have moved on to the new primary and
+     only pending client requests escalate views locally.  The primary that
+     installed the current view retransmits its NEW-VIEW, which the laggard
+     verifies and installs through the normal quorum-trusting path. *)
+  if sender = st.st_replica && st.st_view < t.view then begin
+    match t.last_nv with
+    | Some nv when nv.M.nv_view = t.view && Types.primary t.config t.view = t.id ->
+      send_one t ~dst:sender (M.New_view nv)
+    | Some _ | None -> ()
   end;
   if sender = st.st_replica && st.st_view <= t.view then begin
     (* Checkpoint proof so it can garbage-collect / find fetch targets. *)
@@ -1154,6 +1207,15 @@ let receive t (env : M.envelope) =
     t.stats.rejected_macs <- t.stats.rejected_macs + 1;
     Base_obs.Metrics.incr t.obs.c_reject_mac
   end
+  else if t.role = Standby then begin
+    (* A standby only ever learns checkpoint certificates; every agreement
+       message is noise to it (and processing one could make it broadcast,
+       which a non-voting group member must never do). *)
+    match env.body with
+    | M.Checkpoint c -> handle_checkpoint t env.sender c
+    | M.Request _ | M.Pre_prepare _ | M.Prepare _ | M.Commit _ | M.View_change _
+    | M.New_view _ | M.Status _ | M.Reply _ -> ()
+  end
   else begin
     match env.body with
     | M.Request r ->
@@ -1180,7 +1242,7 @@ let receive_wire t ~sender ~macs raw =
     receive t
       { M.sender; body; macs; mac_lo = 0; size = String.length raw + (8 * Array.length macs) + 16 }
 
-let create ?metrics ~config ~id ~keychain ~net ~app () =
+let create ?metrics ?(role = Active) ~config ~id ~keychain ~net ~app () =
   let metrics =
     match metrics with Some m -> m | None -> Base_obs.Metrics.create ()
   in
@@ -1191,6 +1253,7 @@ let create ?metrics ~config ~id ~keychain ~net ~app () =
       keychain;
       net;
       app;
+      role;
       behavior = Honest;
       view = 0;
       status = Normal;
@@ -1211,6 +1274,7 @@ let create ?metrics ~config ~id ~keychain ~net ~app () =
       fetch_in_progress = None;
       resume_vc_after_fetch = false;
       peer_views = Hashtbl.create 8;
+      last_nv = None;
       stats =
         {
           executed = 0;
@@ -1233,6 +1297,8 @@ let create ?metrics ~config ~id ~keychain ~net ~app () =
   t
 
 let id t = t.id
+
+let role t = t.role
 
 let view t = t.view
 

@@ -43,6 +43,15 @@ type net = {
           clock) — used only for protocol-phase instrumentation. *)
 }
 
+(** Group role.  An [Active] replica runs the full agreement protocol; a
+    [Standby] is a warm spare: it holds replica-side keys and collects
+    checkpoint certificates from the group-sealed CHECKPOINT broadcasts (so
+    {!fetch_target} works and the runtime can shadow-sync it), but it never
+    votes, proposes, executes or broadcasts.  Promotion into a failed
+    replica's slot is a runtime operation — see
+    {!Base_core.Runtime.promote_now}. *)
+type role = Active | Standby
+
 (** Fault-injection behaviours (Byzantine replicas for E6/E9). *)
 type behavior =
   | Honest
@@ -70,6 +79,7 @@ type t
 
 val create :
   ?metrics:Base_obs.Metrics.t ->
+  ?role:role ->
   config:Types.config ->
   id:int ->
   keychain:Base_crypto.Auth.keychain ->
@@ -78,7 +88,8 @@ val create :
   unit ->
   t
 (** A fresh replica in view 0 with an empty log.  The initial-state
-    checkpoint (seq 0) is taken immediately.
+    checkpoint (seq 0) is taken immediately.  [role] defaults to [Active];
+    a [Standby] instance only processes CHECKPOINT messages.
 
     [metrics] receives per-phase latency histograms
     ([bft.phase.{pre_prepare,prepare,commit,execute,total}_us] — each slot's
@@ -89,6 +100,8 @@ val create :
     (unobservable) registry is used. *)
 
 val id : t -> int
+
+val role : t -> role
 
 val view : t -> Types.view
 
@@ -162,3 +175,10 @@ val force_fetch : t -> seq:Types.seqno -> digest:Digest.t -> unit
 (** Start a state transfer even when [seq] equals the replica's own last
     executed seqno — used after proactive recovery to {e repair} a possibly
     corrupt local state against the certified checkpoint. *)
+
+val standby_note_synced : t -> seq:Types.seqno -> digest:Digest.t -> unit
+(** Standby bookkeeping after a completed shadow sync: advance the low
+    watermark to the synced checkpoint [seq] (whose {e combined} digest is
+    [digest]) and discard certificate tables below it, bounding the standby's
+    memory over an arbitrarily long shadowing period.  No-op on an [Active]
+    replica. *)

@@ -4,10 +4,11 @@ type view = int
 
 type seqno = int
 
-(** Static system configuration.  Replicas occupy engine node ids
-    [0 .. n-1]; clients use ids [>= n]. *)
+(** Static system configuration.  Active replicas occupy engine node ids
+    [0 .. n-1], warm standbys [n .. n+s-1], clients [>= n+s]. *)
 type config = {
-  n : int;  (** number of replicas, [n = 3f + 1] *)
+  n : int;  (** number of active replicas, [n = 3f + 1] *)
+  s : int;  (** warm standbys shadowing the group (0 = plain 3f+1) *)
   f : int;  (** tolerated faults *)
   checkpoint_period : int;  (** the paper's [k]: checkpoint every k-th request *)
   log_window : int;  (** [L]: high watermark is [h + L]; a multiple of [k] *)
@@ -23,17 +24,18 @@ type config = {
 
 let make_config ?(checkpoint_period = 128) ?(log_window = 256)
     ?(client_timeout_us = 150_000) ?(viewchange_timeout_us = 500_000) ?(batch_max = 16)
-    ?(max_inflight = 8) ?(st_window = 8) ?(st_chunk_bytes = 4096) ?(st_cache_objs = 256) ~f
-    ~n_clients () =
+    ?(max_inflight = 8) ?(st_window = 8) ?(st_chunk_bytes = 4096) ?(st_cache_objs = 256)
+    ?(standbys = 0) ~f ~n_clients () =
   let n = (3 * f) + 1 in
   {
     n;
+    s = standbys;
     f;
     checkpoint_period;
     log_window;
     client_timeout_us;
     viewchange_timeout_us;
-    n_principals = n + n_clients;
+    n_principals = n + standbys + n_clients;
     batch_max;
     max_inflight;
     st_window;
@@ -51,3 +53,11 @@ let quorum config = (2 * config.f) + 1
 let weak_quorum config = config.f + 1
 
 let is_replica config id = id >= 0 && id < config.n
+
+(* Replicas plus standbys: the principals that hold replica-side keys and
+   receive group-sealed checkpoint announcements.  Clients start here. *)
+let group_size config = config.n + config.s
+
+let standby_ids config = List.init config.s (fun i -> config.n + i)
+
+let is_standby config id = id >= config.n && id < config.n + config.s

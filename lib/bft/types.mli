@@ -4,17 +4,20 @@ type view = int
 
 type seqno = int
 
-(** Static system configuration.  Replicas occupy simulator node ids
-    [0 .. n-1]; clients use ids [n ..]; one extra id is reserved for the
-    recovery orchestrator. *)
+(** Static system configuration.  Active replicas occupy simulator node ids
+    [0 .. n-1]; warm standbys (if any) use [n .. n+s-1]; clients use
+    [n+s ..]; one extra id is reserved for the recovery orchestrator. *)
 type config = {
-  n : int;  (** number of replicas, always [3f + 1] *)
+  n : int;  (** number of active replicas, always [3f + 1] *)
+  s : int;
+      (** warm standbys: extra group members that hold keys and shadow-sync
+          the stable checkpoint but never vote ([0] recovers plain 3f+1) *)
   f : int;  (** tolerated Byzantine faults *)
   checkpoint_period : int;  (** the paper's [k]: checkpoint every k-th request *)
   log_window : int;  (** [L]: the high watermark is [h + L]; a multiple of [k] *)
   client_timeout_us : int;  (** client retransmission timer *)
   viewchange_timeout_us : int;  (** backup progress timer before a view change *)
-  n_principals : int;  (** replicas + clients (MAC keychain universe) *)
+  n_principals : int;  (** replicas + standbys + clients (MAC keychain universe) *)
   batch_max : int;  (** max client requests ordered per consensus instance *)
   max_inflight : int;  (** proposals outstanding before the primary batches *)
   st_window : int;
@@ -39,6 +42,7 @@ val make_config :
   ?st_window:int ->
   ?st_chunk_bytes:int ->
   ?st_cache_objs:int ->
+  ?standbys:int ->
   f:int ->
   n_clients:int ->
   unit ->
@@ -46,7 +50,7 @@ val make_config :
 (** Defaults: [checkpoint_period = 128], [log_window = 256],
     [client_timeout_us = 150_000], [viewchange_timeout_us = 500_000],
     [batch_max = 16], [max_inflight = 8], [st_window = 8],
-    [st_chunk_bytes = 4096], [st_cache_objs = 256]. *)
+    [st_chunk_bytes = 4096], [st_cache_objs = 256], [standbys = 0]. *)
 
 val primary : config -> view -> int
 (** The primary of a view: [view mod n]. *)
@@ -60,3 +64,13 @@ val weak_quorum : config -> int
 (** [f + 1]: any set this large contains a correct replica. *)
 
 val is_replica : config -> int -> bool
+(** Active replica id ([0 <= id < n]); standbys are {e not} replicas. *)
+
+val group_size : config -> int
+(** [n + s]: active replicas plus warm standbys — the principals that hold
+    replica-side keys.  Client ids start at [group_size]. *)
+
+val standby_ids : config -> int list
+(** The standby node ids, [n .. n+s-1]. *)
+
+val is_standby : config -> int -> bool

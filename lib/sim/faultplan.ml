@@ -3,6 +3,8 @@ type behavior = B_honest | B_mute | B_lie | B_equivocate
 type action =
   | Crash of int
   | Reboot of int
+  | Promote of int
+  | Crash_standby of int
   | Partition of int list * int list
   | Heal
   | Delay_link of { src : int; dst : int; extra_us : int; for_us : int }
@@ -102,6 +104,8 @@ let split_groups toks =
 let action_of_tokens = function
   | [ "crash"; n ] -> Crash (node_id n)
   | [ "reboot"; n ] -> Reboot (node_id n)
+  | [ "promote"; n ] -> Promote (node_id n)
+  | [ "crash-standby"; n ] -> Crash_standby (node_id n)
   | "partition" :: groups ->
     let a, b = split_groups groups in
     Partition (a, b)
@@ -161,6 +165,8 @@ let ints xs = String.concat " " (List.map string_of_int xs)
 let action_to_string = function
   | Crash n -> Printf.sprintf "crash %d" n
   | Reboot n -> Printf.sprintf "reboot %d" n
+  | Promote n -> Printf.sprintf "promote %d" n
+  | Crash_standby n -> Printf.sprintf "crash-standby %d" n
   | Partition (a, b) -> Printf.sprintf "partition %s / %s" (ints a) (ints b)
   | Heal -> "heal"
   | Delay_link { src; dst; extra_us; for_us } ->

@@ -10,6 +10,8 @@
     # crash-fault schedule
     at 500ms crash 0
     at 900ms reboot 0
+    at 700ms promote 4
+    at 750ms crash-standby 4
     at 1s partition 0 1 / 2 3
     at 2s heal
     at 1s delay 1->2 extra=300us for 500ms
@@ -31,6 +33,14 @@ type behavior = B_honest | B_mute | B_lie | B_equivocate
 type action =
   | Crash of int  (** fail-stop: the node loses every message and timer *)
   | Reboot of int  (** the crashed node comes back with its state intact *)
+  | Promote of int
+      (** migration recovery: promote warm standby [id] into the next slot
+          of the runtime's rolling cursor (see
+          [Base_core.Runtime.apply_faultplan]); used to stage promotion
+          races against [crash-standby] *)
+  | Crash_standby of int
+      (** fail-stop a warm standby — like [Crash] but validated against the
+          standby id range by the executor, so plans read unambiguously *)
   | Partition of int list * int list  (** block traffic between two groups *)
   | Heal  (** remove the current partition *)
   | Delay_link of { src : int; dst : int; extra_us : int; for_us : int }

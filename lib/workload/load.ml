@@ -107,7 +107,7 @@ let create ?(seed = 42L) ?(arrivals = Poisson) ?(max_backlog = 100_000)
   if duration_us <= 0 then invalid_arg "Load.create: duration must be positive";
   let engine = Runtime.engine runtime in
   let config = Runtime.config runtime in
-  let pool_size = config.Types.n_principals - config.Types.n in
+  let pool_size = config.Types.n_principals - Types.group_size config in
   if pool_size = 0 then invalid_arg "Load.create: runtime has no clients";
   let free = Queue.create () in
   for c = 0 to pool_size - 1 do

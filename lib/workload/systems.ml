@@ -31,11 +31,11 @@ type basefs = {
 let make_basefs ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 512)
     ?(n_clients = 1) ?(homogeneous_impl = "hash") ?drop_p ?batch_max ?max_inflight
     ?client_timeout_us ?viewchange_timeout_us ?st_window ?st_chunk_bytes ?st_cache_objs
-    ~hetero () =
+    ?standbys ~hetero () =
   let config =
     Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ?batch_max
       ?max_inflight ?client_timeout_us ?viewchange_timeout_us ?st_window ?st_chunk_bytes
-      ?st_cache_objs ~f ~n_clients ()
+      ?st_cache_objs ?standbys ~f ~n_clients ()
   in
   let engine_config =
     let base =
@@ -43,9 +43,11 @@ let make_basefs ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 51
     in
     { base with seed; drop_p = Option.value drop_p ~default:base.drop_p }
   in
-  let n = config.Types.n in
-  let servers = Array.make n None in
-  let impl_of = Array.make n "" in
+  (* Warm standbys run a wrapped implementation of their own, so the server
+     and implementation-name tables cover the whole n+s group. *)
+  let group = Types.group_size config in
+  let servers = Array.make group None in
+  let impl_of = Array.make group "" in
   (* The implementations read their replica's local (skewed, drifting)
      clock; the engine does not exist until Runtime.create runs, so route
      through a cell.  During construction the clock reads zero, which only
@@ -106,10 +108,10 @@ let registers_wrapper ~n_objects slots : Service.wrapper =
 
 let make_registers ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 64)
     ?(n_clients = 1) ?drop_p ?batch_max ?max_inflight ?client_timeout_us
-    ?viewchange_timeout_us () =
+    ?viewchange_timeout_us ?standbys () =
   let config =
     Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ?batch_max
-      ?max_inflight ?client_timeout_us ?viewchange_timeout_us ~f ~n_clients ()
+      ?max_inflight ?client_timeout_us ?viewchange_timeout_us ?standbys ~f ~n_clients ()
   in
   let engine_config =
     let base =
@@ -117,7 +119,7 @@ let make_registers ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects =
     in
     { base with seed; drop_p = Option.value drop_p ~default:base.drop_p }
   in
-  let slots = Array.init config.Types.n (fun _ -> Array.make n_objects "") in
+  let slots = Array.init (Types.group_size config) (fun _ -> Array.make n_objects "") in
   let make_wrapper rid = registers_wrapper ~n_objects slots.(rid) in
   let runtime = Runtime.create ~engine_config ~config ~make_wrapper ~n_clients () in
   { reg_runtime = runtime; slots }

@@ -55,10 +55,12 @@ let kv_wrapper ?(n_objects = 8) () =
     } )
 
 let make_system ?(seed = 1L) ?(f = 1) ?(n_clients = 1) ?(checkpoint_period = 16)
-    ?(drop_p = 0.0) ?batch_max ?max_inflight ?client_timeout_us ?viewchange_timeout_us () =
+    ?(drop_p = 0.0) ?batch_max ?max_inflight ?client_timeout_us ?viewchange_timeout_us
+    ?standbys () =
   let config =
     Base_bft.Types.make_config ~checkpoint_period ~log_window:(checkpoint_period * 2)
-      ?batch_max ?max_inflight ?client_timeout_us ?viewchange_timeout_us ~f ~n_clients ()
+      ?batch_max ?max_inflight ?client_timeout_us ?viewchange_timeout_us ?standbys ~f
+      ~n_clients ()
   in
   let engine_config =
     {
@@ -69,7 +71,9 @@ let make_system ?(seed = 1L) ?(f = 1) ?(n_clients = 1) ?(checkpoint_period = 16)
       drop_p;
     }
   in
-  let kvs = Array.init config.Base_bft.Types.n (fun _ -> None) in
+  let kvs =
+    Array.init (Base_bft.Types.group_size config) (fun _ -> None)
+  in
   let make_wrapper rid =
     let kv, w = kv_wrapper () in
     kvs.(rid) <- Some kv;

@@ -23,6 +23,8 @@ let test_grammar () =
       "# full grammar tour\n\
        at 500ms crash 0\n\
        at 900ms reboot 0   # trailing comment\n\
+       at 700ms promote 4\n\
+       at 750ms crash-standby 4\n\
        at 1s partition 0 1 / 2 3\n\
        at 2s heal\n\
        \n\
@@ -32,11 +34,17 @@ let test_grammar () =
        at 1s behavior 0 equivocate\n\
        at 1s attack-preprepare 0 mute=0.5 delay=2ms for 1s\n"
   in
-  Alcotest.(check int) "events parsed" 9 (List.length plan);
+  Alcotest.(check int) "events parsed" 11 (List.length plan);
   (match List.nth plan 0 with
   | { Faultplan.at_us = 500_000; action = Faultplan.Crash 0 } -> ()
   | _ -> Alcotest.fail "first event should be crash 0 at 500ms");
-  match List.nth plan 2 with
+  (match List.nth plan 2 with
+  | { Faultplan.at_us = 700_000; action = Faultplan.Promote 4 } -> ()
+  | _ -> Alcotest.fail "third event should be promote 4 at 700ms");
+  (match List.nth plan 3 with
+  | { Faultplan.at_us = 750_000; action = Faultplan.Crash_standby 4 } -> ()
+  | _ -> Alcotest.fail "fourth event should be crash-standby 4 at 750ms");
+  match List.nth plan 4 with
   | { Faultplan.action = Faultplan.Partition ([ 0; 1 ], [ 2; 3 ]); _ } -> ()
   | _ -> Alcotest.fail "partition groups mis-parsed"
 
@@ -57,6 +65,8 @@ let test_errors () =
       ("at 5ms", "no action");
       ("crash 0", "expected 'at TIME ACTION'");
       ("at 5ms crash x", "node id");
+      ("at 5ms promote x", "node id");
+      ("at 5ms crash-standby -3", "node id");
       ("at 5ms drop 1->2 p=1.5 for 1ms", "probability");
       ("at 5ms delay 12 extra=1us for 1ms", "SRC->DST");
       ("at 5ms partition 0 1 2", "'/'");
@@ -83,6 +93,8 @@ let gen_action =
     [
       Gen.map (fun n -> Faultplan.Crash n) (Gen.int_bound 6);
       Gen.map (fun n -> Faultplan.Reboot n) (Gen.int_bound 6);
+      Gen.map (fun n -> Faultplan.Promote n) (Gen.int_bound 6);
+      Gen.map (fun n -> Faultplan.Crash_standby n) (Gen.int_bound 6);
       Gen.map2
         (fun a b -> Faultplan.Partition (a, b))
         (Gen.list_size (Gen.int_range 1 3) (Gen.int_bound 6))

@@ -24,6 +24,7 @@ let () =
       ("cross-backend-digest", Test_cross_backend_digest.suite);
       ("wrapper-edge", Test_wrapper_edge.suite);
       ("recovery", Test_recovery.suite);
+      ("standby", Test_standby.suite);
       ("workload", Test_workload.suite);
       ("safety-sweep", Test_safety_sweep.suite);
       ("stress-combo", Test_stress_combo.suite);
