@@ -21,7 +21,10 @@ module Json = Base_obs.Json
    of recovery episodes' timings, so they get the widest band. *)
 let tolerance_for = function
   | "e14" | "e16" -> 0.30
-  | "e12" | "e13" | "e15" -> 0.15
+  (* e17 carries the profile's alloc_bytes, which drifts with compiler
+     version (inlining decides what allocates) even though call counts are
+     exact; same band as the load-sensitive sections. *)
+  | "e12" | "e13" | "e15" | "e17" -> 0.15
   | _ -> 0.10
 
 (* Counts of discrete events (retransmissions, cache hits, recoveries) sit

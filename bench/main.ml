@@ -527,7 +527,8 @@ let bless id report = blessed := (id, report) :: !blessed
 
 let write_blessed () =
   let have id = List.mem_assoc id !blessed in
-  if have "e12" && have "e13" && have "e14" && have "e15" && have "e16" then begin
+  if have "e12" && have "e13" && have "e14" && have "e15" && have "e16" && have "e17"
+  then begin
     let json = Base_obs.Json.to_string_pretty (Base_obs.Json.obj !blessed) ^ "\n" in
     let path = "BENCH_metrics.json" in
     let oc = open_out path in
@@ -541,12 +542,12 @@ let write_blessed () =
    observability report.  Everything in the JSON is a function of the seed
    (virtual clock, sorted keys, canonical floats), so the file is the
    regression artifact CI diffs across two consecutive runs. *)
-let e12_run seed =
+let e12_run ?profile seed =
   (* checkpoint_period 16 so a ~50-instance run crosses several checkpoint
      boundaries: the cadence histogram fills, CHECKPOINT traffic shows up in
      the label table, and recoveries have certified targets to fetch. *)
   let sys =
-    Systems.make_basefs ~seed ~hetero:true ~checkpoint_period:16 ~n_clients:1 ()
+    Systems.make_basefs ~seed ~hetero:true ~checkpoint_period:16 ~n_clients:1 ?profile ()
   in
   let rt = sys.Systems.runtime in
   Runtime.enable_proactive_recovery ~reboot_us:100_000 ~period_us:2_000_000 rt;
@@ -1073,6 +1074,119 @@ let e16 () =
   bless "e16"
     (Base_obs.Json.obj [ ("inplace", e16_mode_json inplace); ("migration", e16_mode_json mig) ])
 
+(* --- E17: hot-path profile and the million-request scale run ------------------------ *)
+
+(* The profiling harness built for the hot-path overhaul (doc/profiling.md):
+   every replica, client and the engine share one [Base_obs.Profile], whose
+   probes bracket the protocol phases (bft.verify/seal/handle/execute,
+   client.verify/seal, engine.send/dispatch).  The nanosecond clock is
+   injected here — the libraries never read wall time — and only the
+   deterministic part of the export (call counts, allocation deltas) goes
+   into the blessed file; the timing table below is for humans. *)
+
+let e17_profile () =
+  let p = Base_obs.Profile.create ~now_ns:Monotonic_clock.now () in
+  Base_obs.Profile.enable p;
+  p
+
+let print_profile p = Format.printf "%a%!" Base_obs.Profile.pp p
+
+(* A million-request E15-style run: the open-loop injector against the
+   stamp-free registers service with the read-only fast path and b=64
+   batching — the configuration E15 shows saturating highest — driven hard
+   enough to push one million completed requests through the full protocol
+   stack in one run.  This is the scale claim for the hot-path overhaul:
+   digest memoisation, batch MACs, slice decoding and the flat event heap
+   are what make this run fit a CI budget. *)
+let e17_scale_rate = 40_000.0
+
+let e17_scale_duration_us = 26_000_000
+
+let e17_scale profile =
+  let sys =
+    Systems.make_registers ~seed:53L ~n_clients:e15_pool ~n_objects:256
+      ~checkpoint_period:128 ~batch_max:64 ~max_inflight:1 ~profile ()
+  in
+  let rt = sys.Systems.reg_runtime in
+  let load =
+    Load.create ~seed:23L ~arrivals:Load.Poisson ~max_backlog:2_000
+      ~operation:(fun i ->
+        if i land 3 = 0 then Printf.sprintf "set:%d:v%d" (i * 5 mod 256) i
+        else Printf.sprintf "get:%d" (i * 7 mod 256))
+      ~read_only:(fun i -> i land 3 <> 0)
+      ~rate_per_s:e17_scale_rate ~duration_us:e17_scale_duration_us rt
+  in
+  (match Load.run load with
+  | Ok () -> ()
+  | Error e -> failwith ("E17: " ^ e));
+  let s = Load.stats load in
+  (rt, s)
+
+let e17_probe_names =
+  [
+    "bft.verify"; "bft.seal"; "bft.handle"; "bft.execute";
+    "client.verify"; "client.seal"; "engine.send"; "engine.dispatch";
+  ]
+
+let assert_probes_fired profs =
+  List.iter
+    (fun prof ->
+      List.iter
+        (fun name ->
+          let probe = Base_obs.Profile.probe prof name in
+          assert (Base_obs.Profile.probe_calls probe > 0))
+        e17_probe_names)
+    profs
+
+(* The blessed observability workload (same seed as E12), probes on: where
+   do its cycles and allocations go? *)
+let e17_profiled_e12 () =
+  let p12 = e17_profile () in
+  let wall0 = Monotonic_clock.now () in
+  ignore (e12_run ~profile:p12 11L);
+  let e12_wall_ms = Int64.to_float (Int64.sub (Monotonic_clock.now ()) wall0) /. 1e6 in
+  Printf.printf "  E12 workload under the profiler (%.0f ms wall):\n\n" e12_wall_ms;
+  print_profile p12;
+  p12
+
+(* Sub-second CI smoke for the profiling harness: probes attach, fire on
+   every protocol phase, and the deterministic export is well-formed —
+   without paying for the E17 scale run. *)
+let e17_smoke () =
+  section "E17-SMOKE" "profiling harness smoke: probes fire on every phase";
+  let p12 = e17_profiled_e12 () in
+  assert_probes_fired [ p12 ];
+  ignore (Base_obs.Json.to_string_pretty (Base_obs.Profile.to_json ~deterministic:true p12));
+  Printf.printf "\n  all %d probes fired; deterministic export OK\n"
+    (List.length e17_probe_names)
+
+let e17 () =
+  section "E17" "hot-path profile: phase costs, and one million requests in one run";
+  let p12 = e17_profiled_e12 () in
+  (* The scale run. *)
+  let psc = e17_profile () in
+  let wall1 = Monotonic_clock.now () in
+  let rt, s = e17_scale psc in
+  let scale_wall_s = Int64.to_float (Int64.sub (Monotonic_clock.now ()) wall1) /. 1e9 in
+  let sent = (Engine.total_counters (Runtime.engine rt)).Engine.sent_msgs in
+  Printf.printf "\n  scale run: %d requests completed (%d shed) in %.1f s wall\n"
+    s.Load.completed s.Load.shed scale_wall_s;
+  Printf.printf "  %d protocol messages; %.0f requests/s of wall time\n\n" sent
+    (float_of_int s.Load.completed /. scale_wall_s);
+  print_profile psc;
+  (* Acceptance criteria: a genuinely million-request run, and the probes
+     saw every protocol phase actually firing on both workloads. *)
+  assert (s.Load.completed >= 1_000_000);
+  assert_probes_fired [ p12; psc ];
+  bless "e17"
+    (Base_obs.Json.obj
+       [
+         ("e12_profile", Base_obs.Profile.to_json ~deterministic:true p12);
+         ("scale_completed", Base_obs.Json.Int s.Load.completed);
+         ("scale_profile", Base_obs.Profile.to_json ~deterministic:true psc);
+         ("scale_shed", Base_obs.Json.Int s.Load.shed);
+       ])
+
 (* --- driver ------------------------------------------------------------------------ *)
 
 let experiments =
@@ -1095,6 +1209,8 @@ let experiments =
     ("E14", e14);
     ("E15", e15);
     ("E16", e16);
+    ("E17", e17);
+    ("E17-SMOKE", e17_smoke);
   ]
 
 let () =

@@ -33,10 +33,10 @@ type t = {
   cache_cap : int;
 }
 
-let refresh_leaf t i =
+let leaf_update t i =
   let data = t.wrapper.Service.get_obj i in
-  Partition_tree.set_leaf t.tree i (Service.object_digest i data);
-  t.stats.digests_recomputed <- t.stats.digests_recomputed + 1
+  t.stats.digests_recomputed <- t.stats.digests_recomputed + 1;
+  (i, Service.object_digest i data)
 
 let create ?(cache_objs = 256) ~wrapper ~branching () =
   let t =
@@ -51,9 +51,7 @@ let create ?(cache_objs = 256) ~wrapper ~branching () =
       cache_cap = max 0 cache_objs;
     }
   in
-  for i = 0 to wrapper.Service.n_objects - 1 do
-    refresh_leaf t i
-  done;
+  Partition_tree.set_leaves t.tree (List.init wrapper.Service.n_objects (leaf_update t));
   t
 
 let wrapper t = t.wrapper
@@ -106,7 +104,8 @@ let modify t i =
 let flush_dirty t =
   Hashtbl.fold (fun i () acc -> i :: acc) t.dirty []
   |> List.sort Int.compare
-  |> List.iter (refresh_leaf t);
+  |> List.map (leaf_update t)
+  |> Partition_tree.set_leaves t.tree;
   Hashtbl.reset t.dirty
 
 let take_checkpoint t ~seq ~client_rows =
@@ -156,20 +155,19 @@ let install t objs =
      corrupts every snapshot without its own copy. *)
   List.iter (fun (i, _) -> preserve_current t i) objs;
   t.wrapper.Service.put_objs objs;
-  List.iter
-    (fun (i, data) ->
-      let d = Service.object_digest i data in
-      Partition_tree.set_leaf t.tree i d;
-      (* Fetched values go straight into the leaf cache: a later recovery
-         that needs this same certified value again skips the refetch. *)
-      cache_put t d data)
-    objs;
+  Partition_tree.set_leaves t.tree
+    (List.map
+       (fun (i, data) ->
+         let d = Service.object_digest i data in
+         (* Fetched values go straight into the leaf cache: a later recovery
+            that needs this same certified value again skips the refetch. *)
+         cache_put t d data;
+         (i, d))
+       objs);
   List.iter (fun (i, _) -> Hashtbl.remove t.dirty i) objs
 
 let rebuild_all_digests t =
   Hashtbl.reset t.dirty;
-  for i = 0 to n_objects t - 1 do
-    refresh_leaf t i
-  done
+  Partition_tree.set_leaves t.tree (List.init (n_objects t) (leaf_update t))
 
 let stats t = t.stats

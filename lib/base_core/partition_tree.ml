@@ -67,6 +67,28 @@ let set_leaf t i d =
     recompute_node t ~level:l ~index:!idx
   done
 
+(* Bulk form of [set_leaf]: write every leaf first, then recompute each
+   touched interior node once per level, bottom-up.  [set_leaf] in a loop
+   re-hashes the shared ancestors once per leaf — O(k log k) node hashes for
+   k updates — where one pass over the distinct parents is O(k + interior).
+   The resulting digests are identical; only the work is deduplicated.  This
+   is the path a post-reboot full rebuild and a checkpoint flush take. *)
+let set_leaves t updates =
+  match updates with
+  | [] -> ()
+  | [ (i, d) ] -> set_leaf t i d
+  | _ ->
+    let leaf_level = levels t - 1 in
+    List.iter (fun (i, d) -> t.nodes.(leaf_level).(i) <- d) updates;
+    if leaf_level > 0 then begin
+      let parents idxs = List.sort_uniq Int.compare (List.map (fun i -> i / t.b) idxs) in
+      let touched = ref (parents (List.map fst updates)) in
+      for l = leaf_level - 1 downto 0 do
+        List.iter (fun i -> recompute_node t ~level:l ~index:i) !touched;
+        if l > 0 then touched := parents !touched
+      done
+    end
+
 let copy t = { b = t.b; nodes = Array.map Array.copy t.nodes }
 
 let equal_root a b = Digest.equal (root a) (root b)

@@ -27,6 +27,14 @@ val levels : t -> int
 val set_leaf : t -> int -> Digest.t -> unit
 (** Incrementally update one leaf and the digests on its path to the root. *)
 
+val set_leaves : t -> (int * Digest.t) list -> unit
+(** Bulk [set_leaf]: writes every leaf, then recomputes each touched
+    interior node exactly once (bottom-up).  Produces the same tree as
+    folding {!set_leaf} over the list, without re-hashing shared ancestors
+    once per update — the difference between O(k log k) and O(k) node
+    hashes for a k-leaf flush.  Later entries for a duplicate index win,
+    as in the sequential fold. *)
+
 val leaf : t -> int -> Digest.t
 
 val root : t -> Digest.t

@@ -121,6 +121,7 @@ type t = {
   mutable pending_promotions : (int * int) list;  (* (slot, standby) handshakes *)
   mutable roll_cursor : int;  (* next slot a faultplan [promote] fills *)
   metrics : Base_obs.Metrics.t;
+  profile : Base_obs.Profile.t;
   trace : Base_obs.Trace.t;
   (* System-wide state-transfer totals, accumulated as per-fetch deltas so
      they survive the fetchers (which are discarded on completion). *)
@@ -141,6 +142,13 @@ let msg_label = function
   | St { body; _ } -> State_transfer.label body
   | Raw _ -> "RAW"
 
+(* Allocation-free accounting key: the engine calls this once per send and
+   per delivery, so it must not format anything. *)
+let msg_kind = function
+  | Bft env -> Message.kind_label env.Message.body
+  | St { body; _ } -> State_transfer.kind_label body
+  | Raw _ -> "RAW"
+
 let engine t = t.engine
 
 let config t = t.config
@@ -158,6 +166,8 @@ let client t i = t.clients.(i)
 let now t = Engine.now t.engine
 
 let metrics t = t.metrics
+
+let profile t = t.profile
 
 let trace t = t.trace
 
@@ -824,13 +834,25 @@ let enable_proactive_recovery ?(reboot_us = 2_000_000) ?promote_us ?(migrate = f
 
 (* --- construction ---------------------------------------------------------- *)
 
-let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () =
+let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_clients () =
   let engine_config =
     match engine_config with
     | Some c -> c
-    | None -> Engine.default_config ~size_of:msg_size ~label_of:msg_label
+    | None ->
+      {
+        (Engine.default_config ~size_of:msg_size ~label_of:msg_label) with
+        Engine.kind_of = msg_kind;
+      }
   in
   let engine = Engine.create engine_config in
+  (* One profile for the whole system: probes aggregate across replicas,
+     clients and the engine (same sharing model as [metrics]).  Disabled —
+     and a couple of loads plus a branch per probe site — until the caller
+     enables it. *)
+  let profile =
+    match profile with Some p -> p | None -> Base_obs.Profile.create ()
+  in
+  Engine.attach_profile engine profile;
   (* One registry for the whole system: replica histograms aggregate across
      the group, which is what the benchmark tables report.  The engine
      exports its live queue-depth / per-node inflight gauges into the same
@@ -846,7 +868,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
   Engine.set_corruptor engine (fun rng msg ->
       match msg with
       | Bft env ->
-        let body = Message.encode_body env.Message.body in
+        let body = env.Message.wire in
         let len = String.length body in
         if len = 0 then None
         else begin
@@ -943,7 +965,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       }
     in
     let replica =
-      Replica.create ~metrics ~role ~config ~id:rid ~keychain:chains.(rid)
+      Replica.create ~metrics ~profile ~role ~config ~id:rid ~keychain:chains.(rid)
         ~net:(replica_net rid) ~app ()
     in
     let standby =
@@ -1004,7 +1026,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
         in
         (* All clients share the registry (and so one aggregate latency
            histogram) — constant memory per client, however many complete. *)
-        Client.create ~metrics ~config ~id:cid ~keychain:chains.(cid) ~net ())
+        Client.create ~metrics ~profile ~config ~id:cid ~keychain:chains.(cid) ~net ())
   in
   let orchestrator = config.Types.n_principals in
   let t =
@@ -1024,6 +1046,7 @@ let create ?engine_config ?(branching = 16) ~config ~make_wrapper ~n_clients () 
       pending_promotions = [];
       roll_cursor = 0;
       metrics;
+      profile;
       trace;
       st_totals =
         {

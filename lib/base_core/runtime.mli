@@ -107,10 +107,17 @@ val msg_size : msg -> int
 
 val msg_label : msg -> string
 
+val msg_kind : msg -> string
+(** Constant per-constructor tag ("PRE-PREPARE", "FETCH-OBJ", "RAW"):
+    the allocation-free accounting key.  Custom engine configs should set
+    [Engine.kind_of] to this — the default derives the kind by formatting
+    the full label on every send. *)
+
 type t
 
 val create :
   ?engine_config:msg Base_sim.Engine.config ->
+  ?profile:Base_obs.Profile.t ->
   ?branching:int ->
   config:Base_bft.Types.config ->
   make_wrapper:(int -> Service.wrapper) ->
@@ -121,7 +128,12 @@ val create :
     pass different implementations for opportunistic N-version programming.
     [branching] is the partition-tree fan-out (default 16).  Each replica's
     {!Objrepo} leaf cache is sized by [config.st_cache_objs], and its
-    state-transfer pipeline by [config.st_window] / [config.st_chunk_bytes]. *)
+    state-transfer pipeline by [config.st_window] / [config.st_chunk_bytes].
+
+    [profile] is shared by every replica, client and the engine (same
+    aggregation model as the metrics registry); the default is a fresh
+    disabled instance — pass one built with a real clock and
+    {!Base_obs.Profile.enable} it to collect per-phase timings. *)
 
 val engine : t -> msg Base_sim.Engine.t
 
@@ -230,6 +242,12 @@ val enable_net_trace : t -> unit
     are driven by the virtual clock, traces carry virtual timestamps, and
     all JSON renders with sorted keys — two runs with the same seed export
     byte-identical reports. *)
+
+val profile : t -> Base_obs.Profile.t
+(** The shared profiling harness: protocol-phase probes [bft.verify] /
+    [bft.seal] / [bft.handle] / [bft.execute], client-side [client.verify] /
+    [client.seal], and the engine's [engine.send] / [engine.dispatch].
+    Disabled (near-zero overhead) unless the caller enables it. *)
 
 val metrics : t -> Base_obs.Metrics.t
 (** The system-wide registry: per-phase replica histograms

@@ -31,6 +31,14 @@ let size = function
   | Fetch_obj _ -> 24
   | Obj_reply { data; _ } -> 28 + String.length data
 
+let kind_label = function
+  | Fetch_head _ -> "FETCH-HEAD"
+  | Head_reply _ -> "HEAD-REPLY"
+  | Fetch_meta _ -> "FETCH-META"
+  | Meta_reply _ -> "META-REPLY"
+  | Fetch_obj _ -> "FETCH-OBJ"
+  | Obj_reply _ -> "OBJ-REPLY"
+
 let label = function
   | Fetch_head { seq } -> Printf.sprintf "FETCH-HEAD(n=%d)" seq
   | Head_reply { seq; _ } -> Printf.sprintf "HEAD-REPLY(n=%d)" seq

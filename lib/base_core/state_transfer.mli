@@ -54,9 +54,13 @@ type msg =
 val size : msg -> int
 (** Wire-size estimate for the simulator. *)
 
+val kind_label : msg -> string
+(** Constant constructor tag (["FETCH-OBJ"]), allocation-free; the
+    simulator's per-type traffic census keys on this. *)
+
 val label : msg -> string
-(** Short human-readable tag (["FETCH-OBJ(n=8,i=3,o=4096)"]) used by the
-    simulator's per-label traffic census. *)
+(** Short human-readable tag (["FETCH-OBJ(n=8,i=3,o=4096)"]) used by
+    traces. *)
 
 val combined_digest :
   app_root:Digest.t -> client_rows:(int * int64 * string) list -> Digest.t

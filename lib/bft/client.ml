@@ -32,9 +32,12 @@ type t = {
   mutable current : pending option;
   queue : (string * bool * (string -> unit)) Queue.t;
   stats : stats;
+  prof : Base_obs.Profile.t;
+  p_verify : Base_obs.Profile.probe;
+  p_seal : Base_obs.Profile.probe;
 }
 
-let create ?metrics ~config ~id ~keychain ~net () =
+let create ?metrics ?(profile = Base_obs.Profile.disabled) ~config ~id ~keychain ~net () =
   Base_util.Invariant.require
     (id >= Types.group_size (config : Types.config))
     "Client.create: id collides with a replica or standby";
@@ -54,6 +57,9 @@ let create ?metrics ~config ~id ~keychain ~net () =
     current = None;
     queue = Queue.create ();
     stats = { completed = 0; retransmissions = 0; read_only_fallbacks = 0; latency_us };
+    prof = profile;
+    p_verify = Base_obs.Profile.probe profile "client.verify";
+    p_seal = Base_obs.Profile.probe profile "client.seal";
   }
 
 let id t = t.id
@@ -65,7 +71,11 @@ let stats t = t.stats
 (* Requests authenticate to the n replicas; replies come back with a
    client-specific MAC, so nothing a client seals scales with the total
    principal population. *)
-let seal t body = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body
+let seal t body =
+  Base_obs.Profile.start t.prof t.p_seal;
+  let env = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body in
+  Base_obs.Profile.stop t.prof t.p_seal;
+  env
 
 let send_to_all t body =
   let env = seal t body in
@@ -145,7 +155,10 @@ let check_quorum t p =
   | None -> ()
 
 let receive t (env : M.envelope) =
-  if M.verify t.keychain ~receiver:t.id env then begin
+  Base_obs.Profile.start t.prof t.p_verify;
+  let authentic = M.verify t.keychain ~receiver:t.id env in
+  Base_obs.Profile.stop t.prof t.p_verify;
+  if authentic then begin
     match (env.body, t.current) with
     | M.Reply r, Some p
       when r.client = t.id

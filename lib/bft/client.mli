@@ -34,6 +34,7 @@ type t
 
 val create :
   ?metrics:Base_obs.Metrics.t ->
+  ?profile:Base_obs.Profile.t ->
   config:Types.config ->
   id:int ->
   keychain:Base_crypto.Auth.keychain ->
@@ -44,7 +45,8 @@ val create :
     registry the latency histogram registers in ([bft.client.latency_us]);
     clients sharing a registry share the histogram, which is how a large
     client pool keeps one aggregate latency series.  Defaults to a private
-    registry. *)
+    registry.  [profile] attaches hot-path probes ([client.verify],
+    [client.seal]); defaults to the shared disabled instance. *)
 
 val id : t -> int
 

@@ -62,9 +62,18 @@ type body =
   | New_view of new_view
   | Status of status_msg
 
+(* The envelope is content-addressed: [wire] is the canonical encoding the
+   body was sealed (or decoded) from, and [digest_memo] caches its SHA-256.
+   Both are established at construction — seal computes them, the wire path
+   adopts the received bytes — so the hot receive path never re-encodes or
+   re-digests a body.  MACs cover the digest (Castro-Liskov batch
+   authenticators), which ties every check back to the wire bytes: any
+   single-byte change to [wire] fails every receiver's verification. *)
 type envelope = {
   sender : int;
   body : body;
+  wire : string;  (* canonical encoding of [body]; raw bytes on the wire path *)
+  mutable digest_memo : Digest.t option;  (* memoised SHA-256 of [wire] *)
   macs : string array;  (* authenticator; macs.(r - mac_lo) is receiver r's MAC *)
   mac_lo : int;  (* id of the first receiver the authenticator covers *)
   size : int;
@@ -85,6 +94,17 @@ let encode_request r =
   Xdr.contents e
 
 let request_digest r = Digest.of_string (encode_request r)
+
+(* Canonical encoding of a proposed ordering: the XDR batch (count-prefixed)
+   plus the length-prefixed nondet proposal.  Both prefixes matter — they
+   make the encoding injective, so one SHA-256 pass over it binds the batch
+   composition and the nondet choice at once (the per-request digest-then-
+   combine scheme this replaces cost one hash per request per replica). *)
+let encode_batch requests ~nondet =
+  let e = Xdr.encoder () in
+  Xdr.list e enc_request requests;
+  Xdr.opaque e nondet;
+  Xdr.contents e
 
 let enc_digest e d = Xdr.opaque e (Digest.raw d)
 
@@ -174,12 +194,13 @@ let dec_request d =
 
 (* A corrupted length prefix can yield an opaque of any size; a digest-width
    violation must surface as a decode error, not Digest_t's Invalid_argument
-   (message corruption is within the fault model, broken callers are not). *)
+   (message corruption is within the fault model, broken callers are not).
+   The width check runs on the view so oversized claims never copy. *)
 let dec_digest d =
-  let raw = Xdr.read_opaque d in
-  if String.length raw <> 32 then
-    raise (Xdr.Decode_error (Printf.sprintf "digest: expected 32 bytes, got %d" (String.length raw)));
-  Digest.of_raw raw
+  let v = Xdr.read_view d in
+  if v.Xdr.view_len <> 32 then
+    raise (Xdr.Decode_error (Printf.sprintf "digest: expected 32 bytes, got %d" v.Xdr.view_len));
+  Digest.of_raw (Xdr.view_to_string v)
 
 let dec_pre_prepare d =
   let view = Xdr.read_u32 d in
@@ -259,23 +280,82 @@ let decode_body data =
   | body -> Ok body
   | exception Xdr.Decode_error msg -> Error msg
 
+let envelope_digest env =
+  match env.digest_memo with
+  | Some d -> d
+  | None ->
+    let d = Digest.of_string env.wire in
+    env.digest_memo <- Some d;
+    d
+
 let seal chain ~sender ~n_receivers body =
-  let encoded = encode_body body in
-  let macs = Base_crypto.Auth.authenticator chain ~n:n_receivers encoded in
+  let wire = encode_body body in
+  let d = Digest.of_string wire in
+  let macs = Base_crypto.Auth.digest_authenticator chain ~n:n_receivers (Digest.raw d) in
   (* Wire size: body + one 8-byte truncated MAC per receiver + small header. *)
-  { sender; body; macs; mac_lo = 0; size = String.length encoded + (8 * n_receivers) + 16 }
+  {
+    sender;
+    body;
+    wire;
+    digest_memo = Some d;
+    macs;
+    mac_lo = 0;
+    size = String.length wire + (8 * n_receivers) + 16;
+  }
 
 let seal_for chain ~sender ~receiver body =
-  let encoded = encode_body body in
-  let macs = [| Base_crypto.Auth.mac_for chain ~receiver encoded |] in
-  { sender; body; macs; mac_lo = receiver; size = String.length encoded + 8 + 16 }
+  let wire = encode_body body in
+  let d = Digest.of_string wire in
+  let macs = [| Base_crypto.Auth.mac_digest_for chain ~receiver (Digest.raw d) |] in
+  {
+    sender;
+    body;
+    wire;
+    digest_memo = Some d;
+    macs;
+    mac_lo = receiver;
+    size = String.length wire + 8 + 16;
+  }
+
+(* Adopt bytes as they arrived: the digest (hence every MAC check) covers
+   what was actually received, so in-flight corruption that decode happens
+   to tolerate — e.g. a flipped padding byte — still voids the MACs. *)
+let of_wire ~sender ~macs raw =
+  match decode_body raw with
+  | Error _ as e -> e
+  | Ok body ->
+    Ok
+      {
+        sender;
+        body;
+        wire = raw;
+        digest_memo = None;
+        macs;
+        mac_lo = 0;
+        size = String.length raw + (8 * Array.length macs) + 16;
+      }
 
 let verify chain ~receiver env =
   let slot = receiver - env.mac_lo in
   slot >= 0
   && slot < Array.length env.macs
-  && Base_crypto.Auth.check chain ~sender:env.sender (encode_body env.body)
+  && Base_crypto.Auth.check_digest chain ~sender:env.sender
+       (Digest.raw (envelope_digest env))
        ~mac:env.macs.(slot)
+
+(* Constant per-constructor tag: what the engine's per-type traffic tables
+   key on.  [label] formats parameters and is for traces only — calling it
+   per send was a measurable share of the pre-profiling E12 wall clock. *)
+let kind_label = function
+  | Request _ -> "REQUEST"
+  | Pre_prepare _ -> "PRE-PREPARE"
+  | Prepare _ -> "PREPARE"
+  | Commit _ -> "COMMIT"
+  | Reply _ -> "REPLY"
+  | Checkpoint _ -> "CHECKPOINT"
+  | View_change _ -> "VIEW-CHANGE"
+  | New_view _ -> "NEW-VIEW"
+  | Status _ -> "STATUS"
 
 let label = function
   | Request r -> Printf.sprintf "REQUEST(c=%d,t=%Ld%s)" r.client r.timestamp

@@ -80,18 +80,35 @@ type body =
   | New_view of new_view
   | Status of status_msg
 
+(** Content-addressed envelope.  [wire] is the canonical encoding the body
+    was sealed from (or, on the wire path, the bytes as received), and
+    [digest_memo] memoises its SHA-256 — computed at most once per
+    envelope, never per receiver.  MACs cover the digest, so they bind the
+    exact wire bytes: construct envelopes only through {!seal},
+    {!seal_for} or {!of_wire}, which keep [body], [wire] and the MACs
+    consistent. *)
 type envelope = {
   sender : int;
   body : body;
+  wire : string;  (** canonical encoding of [body] / bytes as received *)
+  mutable digest_memo : Digest.t option;  (** memoised SHA-256 of [wire] *)
   macs : string array;
       (** authenticator; [macs.(r - mac_lo)] is receiver [r]'s MAC *)
   mac_lo : int;  (** id of the first receiver the authenticator covers *)
   size : int;  (** wire size: encoded body + authenticator *)
 }
 
+val envelope_digest : envelope -> Digest.t
+(** The (memoised) digest of [wire]; equals a from-scratch SHA-256 of the
+    canonical encoding — the differential digest suite pins this. *)
+
 val encode_request : request -> string
 
 val request_digest : request -> Digest.t
+
+val encode_batch : request list -> nondet:string -> string
+(** Injective canonical encoding of (batch, nondet) — the preimage of the
+    ordering digest, hashed in one pass. *)
 
 val encode_body : body -> string
 
@@ -112,9 +129,21 @@ val seal_for : Base_crypto.Auth.keychain -> sender:int -> receiver:int -> body -
 (** Build a unicast envelope carrying a single MAC for [receiver] — the form
     replica-to-client replies use. *)
 
+val of_wire :
+  sender:int -> macs:string array -> string -> (envelope, string) result
+(** Build an envelope from raw received bytes: decode, then adopt the bytes
+    as the envelope's [wire] so MAC checks cover exactly what arrived —
+    corruption that decoding happens to tolerate (a flipped padding byte)
+    still voids every MAC. *)
+
 val verify : Base_crypto.Auth.keychain -> receiver:int -> envelope -> bool
-(** Check the receiver's MAC slot against the re-encoded body under the
-    claimed sender's key. *)
+(** Check the receiver's MAC slot against the memoised wire digest under
+    the claimed sender's key (one 32-byte HMAC; the body is never
+    re-encoded). *)
+
+val kind_label : body -> string
+(** Constant constructor tag (["PRE-PREPARE"]), allocation-free; the
+    engine's per-type traffic accounting keys on this. *)
 
 val label : body -> string
 (** Short tag for traces, e.g. ["PRE-PREPARE(v=0,n=5)"]. *)

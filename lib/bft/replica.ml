@@ -134,6 +134,11 @@ type t = {
          retransmission to replicas that were down when the view changed *)
   stats : stats;
   obs : obs;
+  prof : Base_obs.Profile.t;
+  p_verify : Base_obs.Profile.probe;  (* MAC check on every received envelope *)
+  p_seal : Base_obs.Profile.probe;  (* encode + digest + authenticate on send *)
+  p_handle : Base_obs.Profile.probe;  (* protocol handling after MAC acceptance *)
+  p_exec : Base_obs.Profile.probe;  (* application execute calls *)
 }
 
 let fresh_entry () =
@@ -194,9 +199,10 @@ let sorted_bindings tbl =
 
 (* The ordering digest binds the whole request batch *and* the agreed
    non-deterministic values, so an equivocating primary cannot get two
-   nondet choices (or two batch compositions) past the prepare phase. *)
-let ordering_digest requests nondet =
-  Digest.of_list (List.map (fun r -> Digest.raw (M.request_digest r)) requests @ [ nondet ])
+   nondet choices (or two batch compositions) past the prepare phase.
+   One SHA-256 pass over the injective batch encoding — this runs at the
+   primary per proposal and at every backup per PRE-PREPARE acceptance. *)
+let ordering_digest requests nondet = Digest.of_string (M.encode_batch requests ~nondet)
 
 (* Client ids are unique within the table, so the id alone orders rows; the
    full comparison keeps the digest well-defined on arbitrary row lists. *)
@@ -235,7 +241,11 @@ let export_client_table t = client_rows_of_table t.clients
 
 (* Replica-to-replica messages authenticate to the n replicas only; replies
    carry a single MAC for their client (see [send_reply]). *)
-let seal t body = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body
+let seal t body =
+  Base_obs.Profile.start t.prof t.p_seal;
+  let env = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body in
+  Base_obs.Profile.stop t.prof t.p_seal;
+  env
 
 let send_one t ~dst body =
   if t.behavior <> Mute then t.net.send ~dst (seal t body)
@@ -255,7 +265,9 @@ let broadcast t body =
    exactly [broadcast]. *)
 let broadcast_group t body =
   if t.behavior <> Mute then begin
+    Base_obs.Profile.start t.prof t.p_seal;
     let env = M.seal t.keychain ~sender:t.id ~n_receivers:(Types.group_size t.config) body in
+    Base_obs.Profile.stop t.prof t.p_seal;
     for r = 0 to Types.group_size t.config - 1 do
       if r <> t.id then t.net.send ~dst:r env
     done
@@ -269,9 +281,12 @@ let send_reply t (reply : M.reply) =
       { reply with result = String.map (fun c -> Char.chr (Char.code c lxor 0x5a)) reply.result }
     | Honest | Mute | Equivocate -> reply
   in
-  if t.behavior <> Mute then
-    t.net.send ~dst:reply.client
-      (M.seal_for t.keychain ~sender:t.id ~receiver:reply.client (M.Reply reply))
+  if t.behavior <> Mute then begin
+    Base_obs.Profile.start t.prof t.p_seal;
+    let env = M.seal_for t.keychain ~sender:t.id ~receiver:reply.client (M.Reply reply) in
+    Base_obs.Profile.stop t.prof t.p_seal;
+    t.net.send ~dst:reply.client env
+  end
 
 (* --- timers ------------------------------------------------------------- *)
 
@@ -363,10 +378,12 @@ and try_execute t =
                client-table timestamp). *)
             if r.timestamp > cr.last_ts then begin
               t.stats.executed_requests <- t.stats.executed_requests + 1;
+              Base_obs.Profile.start t.prof t.p_exec;
               let result =
                 t.app.execute ~client:r.client ~operation:r.operation ~nondet:pp.nondet
                   ~read_only:false
               in
+              Base_obs.Profile.stop t.prof t.p_exec;
               cr.last_ts <- r.timestamp;
               let reply =
                 { M.view = t.view; timestamp = r.timestamp; client = r.client; replica = t.id;
@@ -532,9 +549,11 @@ let in_window t seq = seq > t.h && seq <= t.h + t.config.log_window
 (* --- read-only requests ------------------------------------------------- *)
 
 let execute_read_only t (r : M.request) =
+  Base_obs.Profile.start t.prof t.p_exec;
   let result =
     t.app.execute ~client:r.client ~operation:r.operation ~nondet:"" ~read_only:true
   in
+  Base_obs.Profile.stop t.prof t.p_exec;
   send_reply t
     { M.view = t.view; timestamp = r.timestamp; client = r.client; replica = t.id; result }
 
@@ -1203,46 +1222,51 @@ let on_timer t ~tag ~payload =
   | _ -> ()
 
 let receive t (env : M.envelope) =
-  if not (M.verify t.keychain ~receiver:t.id env) then begin
+  Base_obs.Profile.start t.prof t.p_verify;
+  let authentic = M.verify t.keychain ~receiver:t.id env in
+  Base_obs.Profile.stop t.prof t.p_verify;
+  if not authentic then begin
     t.stats.rejected_macs <- t.stats.rejected_macs + 1;
     Base_obs.Metrics.incr t.obs.c_reject_mac
   end
-  else if t.role = Standby then begin
-    (* A standby only ever learns checkpoint certificates; every agreement
-       message is noise to it (and processing one could make it broadcast,
-       which a non-voting group member must never do). *)
-    match env.body with
-    | M.Checkpoint c -> handle_checkpoint t env.sender c
-    | M.Request _ | M.Pre_prepare _ | M.Prepare _ | M.Commit _ | M.View_change _
-    | M.New_view _ | M.Status _ | M.Reply _ -> ()
-  end
   else begin
-    match env.body with
-    | M.Request r ->
-      (* Only the client's own (possibly relayed) envelope is acceptable:
-         the MAC was checked under the key shared with [env.sender], so a
-         replica cannot forge requests on a client's behalf. *)
-      if r.client = env.sender then handle_request t env r
-    | M.Pre_prepare pp -> handle_pre_prepare t env.sender pp
-    | M.Prepare p -> handle_prepare t env.sender p
-    | M.Commit c -> handle_commit t env.sender c
-    | M.Checkpoint c -> handle_checkpoint t env.sender c
-    | M.View_change vc -> handle_view_change t env.sender vc
-    | M.New_view nv -> handle_new_view t env.sender nv
-    | M.Status st -> handle_status t env.sender st
-    | M.Reply _ -> ()
+    Base_obs.Profile.start t.prof t.p_handle;
+    (if t.role = Standby then begin
+       (* A standby only ever learns checkpoint certificates; every agreement
+          message is noise to it (and processing one could make it broadcast,
+          which a non-voting group member must never do). *)
+       match env.body with
+       | M.Checkpoint c -> handle_checkpoint t env.sender c
+       | M.Request _ | M.Pre_prepare _ | M.Prepare _ | M.Commit _ | M.View_change _
+       | M.New_view _ | M.Status _ | M.Reply _ -> ()
+     end
+     else
+       match env.body with
+       | M.Request r ->
+         (* Only the client's own (possibly relayed) envelope is acceptable:
+            the MAC was checked under the key shared with [env.sender], so a
+            replica cannot forge requests on a client's behalf. *)
+         if r.client = env.sender then handle_request t env r
+       | M.Pre_prepare pp -> handle_pre_prepare t env.sender pp
+       | M.Prepare p -> handle_prepare t env.sender p
+       | M.Commit c -> handle_commit t env.sender c
+       | M.Checkpoint c -> handle_checkpoint t env.sender c
+       | M.View_change vc -> handle_view_change t env.sender vc
+       | M.New_view nv -> handle_new_view t env.sender nv
+       | M.Status st -> handle_status t env.sender st
+       | M.Reply _ -> ());
+    Base_obs.Profile.stop t.prof t.p_handle
   end
 
 let receive_wire t ~sender ~macs raw =
-  match M.decode_body raw with
+  match M.of_wire ~sender ~macs raw with
   | Error _ ->
     t.stats.rejected_decode <- t.stats.rejected_decode + 1;
     Base_obs.Metrics.incr t.obs.c_reject_decode
-  | Ok body ->
-    receive t
-      { M.sender; body; macs; mac_lo = 0; size = String.length raw + (8 * Array.length macs) + 16 }
+  | Ok env -> receive t env
 
-let create ?metrics ?(role = Active) ~config ~id ~keychain ~net ~app () =
+let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(role = Active) ~config ~id ~keychain
+    ~net ~app () =
   let metrics =
     match metrics with Some m -> m | None -> Base_obs.Metrics.create ()
   in
@@ -1287,6 +1311,11 @@ let create ?metrics ?(role = Active) ~config ~id ~keychain ~net ~app () =
           rejected_insane = 0;
         };
       obs = make_obs metrics;
+      prof = profile;
+      p_verify = Base_obs.Profile.probe profile "bft.verify";
+      p_seal = Base_obs.Profile.probe profile "bft.seal";
+      p_handle = Base_obs.Profile.probe profile "bft.handle";
+      p_exec = Base_obs.Profile.probe profile "bft.execute";
     }
   in
   (* Initial checkpoint at seqno 0 so watermark logic is uniform. *)

@@ -79,6 +79,7 @@ type t
 
 val create :
   ?metrics:Base_obs.Metrics.t ->
+  ?profile:Base_obs.Profile.t ->
   ?role:role ->
   config:Types.config ->
   id:int ->
@@ -97,7 +98,11 @@ val create :
     ([bft.view_change_us]) and checkpoint cadence
     ([bft.checkpoint_interval_us]).  Pass the same registry to every replica
     of a system to aggregate across the group; when omitted, a private
-    (unobservable) registry is used. *)
+    (unobservable) registry is used.
+
+    [profile] attaches hot-path probes ([bft.verify], [bft.seal],
+    [bft.handle], [bft.execute]); defaults to the shared disabled
+    instance, whose probe sites cost a branch. *)
 
 val id : t -> int
 

@@ -6,7 +6,13 @@
     abstract objects and protocol payloads.
 
     Conventions follow RFC 1014: all quantities are big-endian and padded to
-    4-byte multiples; variable-length data is length-prefixed. *)
+    4-byte multiples; variable-length data is length-prefixed.
+
+    Both directions are built for the hot path: the encoder writes into a
+    growable byte buffer without per-character checks, and a decoder is a
+    cursor over a slice of the backing string, so nested records decode
+    zero-copy through {!read_view}/{!view_decoder} — only fields the caller
+    actually stores are materialised ({!read_opaque}). *)
 
 type encoder
 
@@ -41,7 +47,10 @@ exception Decode_error of string
 
 type decoder
 
-val decoder : string -> decoder
+val decoder : ?pos:int -> ?len:int -> string -> decoder
+(** A cursor over [data.[pos .. pos+len)] (the whole string by default).
+    Raises [Base_util.Invariant.Violation] if the slice is out of bounds —
+    slicing is a caller decision, not wire input. *)
 
 val read_u32 : decoder -> int
 
@@ -50,6 +59,8 @@ val read_i64 : decoder -> int64
 val read_bool : decoder -> bool
 
 val read_opaque : decoder -> string
+(** Materialises an owned copy of the field.  Use {!read_view} when the
+    bytes are only inspected, compared or re-decoded. *)
 
 val read_str : decoder -> string
 
@@ -60,3 +71,53 @@ val read_option : decoder -> (decoder -> 'a) -> 'a option
 val expect_end : decoder -> unit
 
 val remaining : decoder -> int
+
+(** {1 Zero-copy views}
+
+    A view is the coordinates of an opaque field inside the backing string:
+    no bytes move until the caller decides they must. *)
+
+type view = { view_base : string; view_pos : int; view_len : int }
+
+val read_view : decoder -> view
+(** Wire-compatible with {!read_opaque}, without the copy. *)
+
+val view_to_string : view -> string
+
+val view_decoder : view -> decoder
+(** Decode the view's bytes in place — replaces the
+    [decoder (read_opaque d)] pattern for nested structures. *)
+
+val view_equal_string : view -> string -> bool
+(** Bytewise comparison without materialising the view. *)
+
+(** {1 Reference readers (test-only)}
+
+    The pre-overhaul allocating readers, kept verbatim as the oracle for
+    the differential decode fuzz suite: on every input the slice readers
+    must produce identical values and identical {!Decode_error}s.  Not for
+    production use. *)
+
+module Ref : sig
+  type decoder
+
+  val decoder : string -> decoder
+
+  val read_u32 : decoder -> int
+
+  val read_i64 : decoder -> int64
+
+  val read_bool : decoder -> bool
+
+  val read_opaque : decoder -> string
+
+  val read_str : decoder -> string
+
+  val read_list : decoder -> (decoder -> 'a) -> 'a list
+
+  val read_option : decoder -> (decoder -> 'a) -> 'a option
+
+  val expect_end : decoder -> unit
+
+  val remaining : decoder -> int
+end

@@ -39,3 +39,20 @@ val authenticator : keychain -> n:int -> string -> string array
 
 val check : keychain -> sender:int -> string -> mac:string -> bool
 (** Verify a received MAC under the receiver's key with [sender]. *)
+
+(** {1 Batch (digest) authenticators}
+
+    The hot path seals a broadcast by hashing the body once and MACing the
+    32-byte digest for every receiver, over precomputed per-session-key
+    HMAC midstates.  [mac_digest_for chain ~receiver d] equals
+    [mac_for chain ~receiver d] for every receiver — the equivalence the
+    batch-MAC differential suite pins — the batching is in what gets
+    MACed (the shared digest) and in the precomputation, not in the tag
+    values. *)
+
+val mac_digest_for : keychain -> receiver:int -> string -> string
+
+val digest_authenticator : keychain -> n:int -> string -> string array
+(** MAC vector over a digest for receivers [0 .. n-1]. *)
+
+val check_digest : keychain -> sender:int -> string -> mac:string -> bool

@@ -18,8 +18,30 @@ let mac_list ~key msgs =
 
 let mac ~key msg = mac_list ~key [ msg ]
 
-let verify ~key msg ~tag =
-  let expected = mac ~key msg in
+(* Precomputed keys: the ipad/opad blocks depend only on the key, so their
+   compression (one SHA-256 block each) can be paid once per session key.
+   [mac_prepared] then costs two midstate clones plus hashing the message
+   and the 32-byte inner digest — for the short digests the batch
+   authenticators MAC, that is 2 compressions instead of 4. *)
+type prepared = { p_inner : Sha256.ctx; p_outer : Sha256.ctx }
+
+let prepare ~key =
+  let key = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_pad key '\x36');
+  let outer = Sha256.init () in
+  Sha256.update outer (xor_pad key '\x5c');
+  { p_inner = inner; p_outer = outer }
+
+let mac_prepared p msg =
+  let ictx = Sha256.copy p.p_inner in
+  Sha256.update ictx msg;
+  let inner = Sha256.finalize ictx in
+  let octx = Sha256.copy p.p_outer in
+  Sha256.update octx inner;
+  Sha256.finalize octx
+
+let equal_ct expected tag =
   if String.length expected <> String.length tag then false
   else begin
     (* Fold over all bytes rather than short-circuiting. *)
@@ -27,3 +49,7 @@ let verify ~key msg ~tag =
     String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code tag.[i])) expected;
     !diff = 0
   end
+
+let verify_prepared p msg ~tag = equal_ct (mac_prepared p msg) tag
+
+let verify ~key msg ~tag = equal_ct (mac ~key msg) tag

@@ -8,3 +8,16 @@ val mac_list : key:string -> string list -> string
 
 val verify : key:string -> string -> tag:string -> bool
 (** Constant-shape comparison of the expected tag with [tag]. *)
+
+type prepared
+(** A key with its ipad/opad blocks pre-compressed: one SHA-256 block per
+    direction paid at {!prepare} instead of on every MAC. *)
+
+val prepare : key:string -> prepared
+
+val mac_prepared : prepared -> string -> string
+(** Same tag as [mac ~key msg] for the key given to {!prepare} — the batch
+    authenticator equivalence suite pins this. *)
+
+val verify_prepared : prepared -> string -> tag:string -> bool
+(** Constant-shape comparison, like {!verify}. *)

@@ -42,16 +42,29 @@ let init () =
     w = Array.make 64 0;
   }
 
+(* The inner loops run once per 64 input bytes on every digest and MAC in
+   the system, so they use unsafe array/byte accesses; the single bounds
+   check below is the only one per block.  Indices into [w]/[k] are loop
+   constants in [0, 63], and the block slice is checked on entry. *)
 let compress ctx block pos =
+  Base_util.Invariant.require
+    (pos >= 0 && pos + 64 <= Bytes.length block)
+    "Sha256.compress: block out of bounds";
   let w = ctx.w in
   for t = 0 to 15 do
-    let b i = Char.code (Bytes.get block (pos + (4 * t) + i)) in
-    w.(t) <- (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+    let j = pos + (4 * t) in
+    Array.unsafe_set w t
+      ((Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3)))
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
-    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t
+      ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask)
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
@@ -59,7 +72,9 @@ let compress ctx block pos =
   for t = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g) land mask in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask in
+    let t1 =
+      (!hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land mask
+    in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask in
@@ -107,6 +122,18 @@ let update_bytes ctx data ~pos ~len =
   end
 
 let update ctx s = update_bytes ctx (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+(* Midstate cloning: lets a fixed prefix (e.g. an HMAC key pad block) be
+   compressed once and reused for every message hashed under it.  The
+   scratch schedule [w] is per-use state, so the copy gets its own. *)
+let copy ctx =
+  {
+    h = Array.copy ctx.h;
+    buf = Bytes.copy ctx.buf;
+    buf_len = ctx.buf_len;
+    total = ctx.total;
+    w = Array.make 64 0;
+  }
 
 let finalize ctx =
   let bit_len = Int64.mul ctx.total 8L in

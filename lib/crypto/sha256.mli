@@ -12,6 +12,11 @@ val update : ctx -> string -> unit
 
 val update_bytes : ctx -> bytes -> pos:int -> len:int -> unit
 
+val copy : ctx -> ctx
+(** Independent clone of the context's midstate.  Hashing a fixed prefix
+    once and cloning per message is what makes precomputed HMAC keys one
+    compression per direction instead of two. *)
+
 val finalize : ctx -> string
 (** 32-byte binary digest. The context must not be reused afterwards. *)
 

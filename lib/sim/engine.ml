@@ -8,6 +8,7 @@ type 'msg config = {
   seed : int64;
   size_of : 'msg -> int;
   label_of : 'msg -> string;
+  kind_of : 'msg -> string;
   latency_us : int;
   jitter_us : int;
   bandwidth_bps : int;
@@ -16,11 +17,20 @@ type 'msg config = {
   clock_drift_ppm : int;
 }
 
+let base_label label =
+  match String.index_opt label '(' with Some i -> String.sub label 0 i | None -> label
+
 let default_config ~size_of ~label_of =
+  (* Default [kind_of] derives the accounting key from the trace label.
+     Correct, but it formats the label's parameters on every send — hot
+     message types should override the field with a constant-string
+     function ([{ base with kind_of = ... }]). *)
+  let kind_of msg = base_label (label_of msg) in
   {
     seed = 1L;
     size_of;
     label_of;
+    kind_of;
     latency_us = 60;
     jitter_us = 15;
     bandwidth_bps = 100_000_000;
@@ -84,29 +94,36 @@ and 'msg queued =
 and 'msg t = {
   config : 'msg config;
   rng : Prng.t;
-  queue : (Sim_time.t * 'msg queued) Base_util.Heap.t;
-  nodes : (int, 'msg node) Hashtbl.t;
+  queue : 'msg queued Event_heap.t;
+  (* Nodes indexed by id: ids are dense (replicas, clients, then the
+     orchestrator/injector pseudo-nodes), so an option array turns the
+     two table lookups per message into loads. *)
+  mutable nodes : 'msg node option array;
+  mutable n_nodes : int;
   mutable time : Sim_time.t;
   mutable next_timer_id : int;
   cancelled : (int, unit) Hashtbl.t;
   mutable partition_groups : (int list * int list) option;
   totals : counters;
-  (* Per-message-type traffic breakdown, keyed by the label with its
-     parameter list stripped ("PRE-PREPARE(v=0,n=2)" -> "PRE-PREPARE"). *)
+  (* Per-message-type traffic breakdown, keyed by [config.kind_of]. *)
   labels : (string, counters) Hashtbl.t;
   mutable max_queue_depth : int;
   mutable tracers : (Sim_time.t -> string -> unit) list;
   mutable link_faults : link_fault list;
   mutable corruptor : (Prng.t -> 'msg -> 'msg option) option;
   mutable obs : obs option;
+  mutable prof : Base_obs.Profile.t;
+  mutable p_send : Base_obs.Profile.probe;
+  mutable p_dispatch : Base_obs.Profile.probe;
 }
 
 let create config =
   {
     config;
     rng = Prng.create config.seed;
-    queue = Base_util.Heap.create ~cmp:(fun (a, _) (b, _) -> Sim_time.compare a b);
-    nodes = Hashtbl.create 16;
+    queue = Event_heap.create ();
+    nodes = [||];
+    n_nodes = 0;
     time = Sim_time.zero;
     next_timer_id = 0;
     cancelled = Hashtbl.create 16;
@@ -118,13 +135,13 @@ let create config =
     link_faults = [];
     corruptor = None;
     obs = None;
+    prof = Base_obs.Profile.disabled;
+    p_send = Base_obs.Profile.probe Base_obs.Profile.disabled "engine.send";
+    p_dispatch = Base_obs.Profile.probe Base_obs.Profile.disabled "engine.dispatch";
   }
 
-let base_label label =
-  match String.index_opt label '(' with Some i -> String.sub label 0 i | None -> label
-
 let label_counters_of t msg =
-  let key = base_label (t.config.label_of msg) in
+  let key = t.config.kind_of msg in
   match Hashtbl.find_opt t.labels key with
   | Some c -> c
   | None ->
@@ -133,7 +150,7 @@ let label_counters_of t msg =
     c
 
 let note_queue_depth t =
-  let depth = Base_util.Heap.length t.queue in
+  let depth = Event_heap.length t.queue in
   if depth > t.max_queue_depth then t.max_queue_depth <- depth;
   match t.obs with
   | None -> ()
@@ -147,8 +164,10 @@ let inflight_gauge o id =
     Hashtbl.replace o.og_inflight id g;
     g
 
+let find_node t id = if id >= 0 && id < Array.length t.nodes then t.nodes.(id) else None
+
 let note_inflight t id delta =
-  match Hashtbl.find_opt t.nodes id with
+  match find_node t id with
   | None -> ()
   | Some n ->
     n.inflight <- n.inflight + delta;
@@ -156,11 +175,21 @@ let note_inflight t id delta =
     | None -> ()
     | Some o -> Base_obs.Metrics.set (inflight_gauge o id) (float_of_int n.inflight))
 
+(* Callers guard every call on [t.tracers <> []]: kasprintf renders the
+   format eagerly, which would otherwise put a sprintf on the per-message
+   hot path of every untraced run. *)
 let trace t fmt =
   Format.kasprintf (fun s -> List.iter (fun f -> f t.time s) t.tracers) fmt
 
 let add_node t ~id handler =
-  if Hashtbl.mem t.nodes id then invalid_arg "Engine.add_node: duplicate id";
+  if find_node t id <> None then invalid_arg "Engine.add_node: duplicate id";
+  if id < 0 then invalid_arg "Engine.add_node: negative id";
+  if id >= Array.length t.nodes then begin
+    let cap = max 16 (max (id + 1) (2 * Array.length t.nodes)) in
+    let nodes = Array.make cap None in
+    Array.blit t.nodes 0 nodes 0 (Array.length t.nodes);
+    t.nodes <- nodes
+  end;
   (* Offsets are non-negative (clocks ahead of virtual time by up to twice
      the skew) so local wall clocks never read negative near the origin. *)
   let skew = t.config.clock_skew_us in
@@ -169,20 +198,22 @@ let add_node t ~id handler =
   let drift =
     if ppm = 0 then 1.0 else 1.0 +. (float_of_int (Prng.int t.rng (2 * ppm) - ppm) /. 1e6)
   in
-  Hashtbl.replace t.nodes id
-    {
-      handler;
-      up = true;
-      clock_offset = offset;
-      clock_drift = drift;
-      counters = fresh_counters ();
-      inflight = 0;
-    }
+  t.nodes.(id) <-
+    Some
+      {
+        handler;
+        up = true;
+        clock_offset = offset;
+        clock_drift = drift;
+        counters = fresh_counters ();
+        inflight = 0;
+      };
+  t.n_nodes <- t.n_nodes + 1
 
-let node_count t = Hashtbl.length t.nodes
+let node_count t = t.n_nodes
 
 let get_node t id =
-  match Hashtbl.find_opt t.nodes id with
+  match find_node t id with
   | Some n -> n
   | None -> invalid_arg (Printf.sprintf "Engine: unknown node %d" id)
 
@@ -208,10 +239,11 @@ let link_matches f ~src ~dst =
    happens on the send path so an idle engine holds expired faults — harmless,
    they match nothing once [lf_until] passes. *)
 let active_faults t ~src ~dst =
-  (match t.link_faults with
-  | [] -> ()
-  | fs -> t.link_faults <- List.filter (fun f -> Sim_time.compare f.lf_until t.time > 0) fs);
-  List.filter (fun f -> link_matches f ~src ~dst) t.link_faults
+  match t.link_faults with
+  | [] -> []
+  | fs ->
+    t.link_faults <- List.filter (fun f -> Sim_time.compare f.lf_until t.time > 0) fs;
+    List.filter (fun f -> link_matches f ~src ~dst) t.link_faults
 
 let add_fault t ~src ~dst ~until kind =
   t.link_faults <- { lf_src = src; lf_dst = dst; lf_kind = kind; lf_until = until } :: t.link_faults
@@ -227,6 +259,7 @@ let clear_link_faults t = t.link_faults <- []
 let set_corruptor t f = t.corruptor <- Some f
 
 let send t ?(extra_us = 0) ~src ~dst msg =
+  Base_obs.Profile.start t.prof t.p_send;
   let size = t.config.size_of msg in
   let sender = get_node t src in
   let per_label = label_counters_of t msg in
@@ -241,7 +274,8 @@ let send t ?(extra_us = 0) ~src ~dst msg =
     t.totals.dropped_msgs <- t.totals.dropped_msgs + 1;
     sender.counters.dropped_msgs <- sender.counters.dropped_msgs + 1;
     per_label.dropped_msgs <- per_label.dropped_msgs + 1;
-    trace t "drop  %d->%d %s (%dB)%s" src dst (t.config.label_of msg) size why
+    if t.tracers <> [] then
+      trace t "drop  %d->%d %s (%dB)%s" src dst (t.config.label_of msg) size why
   in
   let dropped =
     blocked t src dst
@@ -253,60 +287,63 @@ let send t ?(extra_us = 0) ~src ~dst msg =
            | F_delay _ | F_corrupt _ -> false)
          faults
   in
-  if dropped then drop ""
-  else begin
-    let deliver ~corrupted msg' =
-      if corrupted then begin
-        t.totals.corrupted_msgs <- t.totals.corrupted_msgs + 1;
-        sender.counters.corrupted_msgs <- sender.counters.corrupted_msgs + 1;
-        per_label.corrupted_msgs <- per_label.corrupted_msgs + 1;
-        (match t.obs with
-        | None -> ()
-        | Some o -> Base_obs.Metrics.incr o.oc_corrupted);
-        trace t "crpt  %d->%d %s (%dB)" src dst (t.config.label_of msg) size
-      end;
-      let fault_extra =
-        List.fold_left
-          (fun acc f -> match f.lf_kind with F_delay d -> acc + d | _ -> acc)
-          extra_us faults
-      in
-      let jitter =
-        if t.config.jitter_us = 0 then 0.0
-        else Prng.exponential t.rng ~mean:(float_of_int t.config.jitter_us)
-      in
-      let tx_us =
-        if t.config.bandwidth_bps = 0 then 0.0
-        else float_of_int (size * 8) /. float_of_int t.config.bandwidth_bps *. 1e6
-      in
-      let delay =
-        Sim_time.of_us (t.config.latency_us + fault_extra + int_of_float (jitter +. tx_us))
-      in
-      trace t "send  %d->%d %s (%dB)" src dst (t.config.label_of msg) size;
-      Base_util.Heap.push t.queue
-        (Sim_time.add t.time delay, Q_deliver { src; dst; msg = msg'; size });
-      note_inflight t dst 1;
-      note_queue_depth t
-    in
-    let wants_corrupt =
-      List.exists
-        (fun f ->
-          match f.lf_kind with
-          | F_corrupt p -> p > 0.0 && Prng.bernoulli t.rng p
-          | F_delay _ | F_drop _ -> false)
-        faults
-    in
-    if not wants_corrupt then deliver ~corrupted:false msg
-    else
-      (* A corrupt window needs a message-type-aware corruptor; without one
-         (or when it declines) the mangled bytes are unparseable noise and
-         the message is simply lost. *)
-      match t.corruptor with
-      | None -> drop " (corrupt)"
-      | Some c -> (
-        match c t.rng msg with
-        | Some msg' -> deliver ~corrupted:true msg'
-        | None -> drop " (corrupt)")
-  end
+  (if dropped then drop ""
+   else begin
+     let deliver ~corrupted msg' =
+       if corrupted then begin
+         t.totals.corrupted_msgs <- t.totals.corrupted_msgs + 1;
+         sender.counters.corrupted_msgs <- sender.counters.corrupted_msgs + 1;
+         per_label.corrupted_msgs <- per_label.corrupted_msgs + 1;
+         (match t.obs with
+         | None -> ()
+         | Some o -> Base_obs.Metrics.incr o.oc_corrupted);
+         if t.tracers <> [] then
+           trace t "crpt  %d->%d %s (%dB)" src dst (t.config.label_of msg) size
+       end;
+       let fault_extra =
+         List.fold_left
+           (fun acc f -> match f.lf_kind with F_delay d -> acc + d | _ -> acc)
+           extra_us faults
+       in
+       let jitter =
+         if t.config.jitter_us = 0 then 0.0
+         else Prng.exponential t.rng ~mean:(float_of_int t.config.jitter_us)
+       in
+       let tx_us =
+         if t.config.bandwidth_bps = 0 then 0.0
+         else float_of_int (size * 8) /. float_of_int t.config.bandwidth_bps *. 1e6
+       in
+       let delay =
+         Sim_time.of_us (t.config.latency_us + fault_extra + int_of_float (jitter +. tx_us))
+       in
+       if t.tracers <> [] then
+         trace t "send  %d->%d %s (%dB)" src dst (t.config.label_of msg) size;
+       Event_heap.push t.queue ~time:(Sim_time.add t.time delay)
+         (Q_deliver { src; dst; msg = msg'; size });
+       note_inflight t dst 1;
+       note_queue_depth t
+     in
+     let wants_corrupt =
+       List.exists
+         (fun f ->
+           match f.lf_kind with
+           | F_corrupt p -> p > 0.0 && Prng.bernoulli t.rng p
+           | F_delay _ | F_drop _ -> false)
+         faults
+     in
+     if not wants_corrupt then deliver ~corrupted:false msg
+     else
+       (* A corrupt window needs a message-type-aware corruptor; without one
+          (or when it declines) the mangled bytes are unparseable noise and
+          the message is simply lost. *)
+       match t.corruptor with
+       | None -> drop " (corrupt)"
+       | Some c -> (
+         match c t.rng msg with
+         | Some msg' -> deliver ~corrupted:true msg'
+         | None -> drop " (corrupt)")
+   end);
+  Base_obs.Profile.stop t.prof t.p_send
 
 let multicast t ?extra_us ~src ~dsts msg =
   List.iter (fun dst -> send t ?extra_us ~src ~dst msg) dsts
@@ -318,17 +355,19 @@ let heal t = t.partition_groups <- None
 let set_timer t ~node ~after ~tag ~payload =
   let id = t.next_timer_id in
   t.next_timer_id <- id + 1;
-  Base_util.Heap.push t.queue (Sim_time.add t.time after, Q_timer { id; node; tag; payload });
+  Event_heap.push t.queue ~time:(Sim_time.add t.time after)
+    (Q_timer { id; node; tag; payload });
   note_queue_depth t;
   id
 
 let cancel_timer t id = Hashtbl.replace t.cancelled id ()
 
 let dispatch t queued =
-  match queued with
+  Base_obs.Profile.start t.prof t.p_dispatch;
+  (match queued with
   | Q_deliver { src; dst; msg; size } -> begin
     note_inflight t dst (-1);
-    match Hashtbl.find_opt t.nodes dst with
+    match find_node t dst with
     | None -> ()
     | Some node ->
       let per_label = label_counters_of t msg in
@@ -339,41 +378,45 @@ let dispatch t queued =
         t.totals.recv_bytes <- t.totals.recv_bytes + size;
         per_label.recv_msgs <- per_label.recv_msgs + 1;
         per_label.recv_bytes <- per_label.recv_bytes + size;
-        trace t "deliv %d->%d %s" src dst (t.config.label_of msg);
+        if t.tracers <> [] then trace t "deliv %d->%d %s" src dst (t.config.label_of msg);
         node.handler t (Deliver { src; msg })
       end
       else begin
         t.totals.dropped_msgs <- t.totals.dropped_msgs + 1;
         per_label.dropped_msgs <- per_label.dropped_msgs + 1;
-        trace t "lost  %d->%d %s (node down)" src dst (t.config.label_of msg)
+        if t.tracers <> [] then
+          trace t "lost  %d->%d %s (node down)" src dst (t.config.label_of msg)
       end
   end
   | Q_timer { id; node; tag; payload } ->
     if not (Hashtbl.mem t.cancelled id) then begin
-      match Hashtbl.find_opt t.nodes node with
+      match find_node t node with
       | Some n when n.up -> n.handler t (Timer { tag; payload })
       | Some _ | None -> ()
     end
-    else Hashtbl.remove t.cancelled id
+    else Hashtbl.remove t.cancelled id);
+  Base_obs.Profile.stop t.prof t.p_dispatch
 
 let step t =
-  match Base_util.Heap.pop t.queue with
-  | None -> false
-  | Some (time, queued) ->
+  if Event_heap.is_empty t.queue then false
+  else begin
+    let queued = Event_heap.pop_exn t.queue in
+    let time = Event_heap.last_time t.queue in
     if Sim_time.compare time t.time > 0 then t.time <- time;
     note_queue_depth t;
     dispatch t queued;
     true
+  end
 
 let run ?until ?max_events t =
   let handled = ref 0 in
   let continue () =
     (match max_events with Some m -> !handled < m | None -> true)
     &&
-    match (until, Base_util.Heap.peek t.queue) with
+    match (until, Event_heap.min_time t.queue) with
     | _, None -> false
     | None, Some _ -> true
-    | Some limit, Some (next, _) -> Sim_time.(next <= limit)
+    | Some limit, Some next -> Sim_time.(next <= limit)
   in
   while continue () do
     ignore (step t);
@@ -395,7 +438,7 @@ let label_counters t =
   Hashtbl.fold (fun label c acc -> (label, c) :: acc) t.labels []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let queue_depth t = Base_util.Heap.length t.queue
+let queue_depth t = Event_heap.length t.queue
 
 let max_queue_depth t = t.max_queue_depth
 
@@ -414,3 +457,8 @@ let attach_metrics t m =
   in
   t.obs <- Some o;
   note_queue_depth t
+
+let attach_profile t p =
+  t.prof <- p;
+  t.p_send <- Base_obs.Profile.probe p "engine.send";
+  t.p_dispatch <- Base_obs.Profile.probe p "engine.dispatch"

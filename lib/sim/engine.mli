@@ -24,6 +24,10 @@ type 'msg config = {
   seed : int64;
   size_of : 'msg -> int;  (** wire size estimate, drives bandwidth cost *)
   label_of : 'msg -> string;  (** one-line label used by traces *)
+  kind_of : 'msg -> string;
+      (** accounting key for {!label_counters} — should return a constant
+          string per message type (allocation-free: it runs on every send
+          and delivery) *)
   latency_us : int;  (** one-way propagation delay *)
   jitter_us : int;  (** mean of the exponential jitter component *)
   bandwidth_bps : int;  (** link bandwidth; 0 = infinite *)
@@ -34,7 +38,11 @@ type 'msg config = {
 
 val default_config : size_of:('msg -> int) -> label_of:('msg -> string) -> 'msg config
 (** A switched-LAN-like setup: 60 us latency, 15 us jitter, 100 Mbit/s, no
-    loss, 50 ms skew, 100 ppm drift, seed 1. *)
+    loss, 50 ms skew, 100 ppm drift, seed 1.  [kind_of] defaults to
+    [label_of] with its parameter list stripped
+    (["PRE-PREPARE(v=0,n=2)"] -> ["PRE-PREPARE"]) — correct but it formats
+    the full label per send; override the field with a constant-string
+    function on hot paths ([{ base with kind_of = ... }]). *)
 
 val create : 'msg config -> 'msg t
 
@@ -141,10 +149,10 @@ val node_counters : 'msg t -> int -> counters
 val total_counters : 'msg t -> counters
 
 val label_counters : 'msg t -> (string * counters) list
-(** Traffic broken down by message type — the label with its parameter list
-    stripped (["PRE-PREPARE(v=0,n=2)"] counts under ["PRE-PREPARE"]).
-    Sorted by label; [dropped_msgs] includes messages lost to a down
-    destination. *)
+(** Traffic broken down by message type, keyed by [config.kind_of] (by
+    default the label with its parameter list stripped:
+    ["PRE-PREPARE(v=0,n=2)"] counts under ["PRE-PREPARE"]).  Sorted by
+    key; [dropped_msgs] includes messages lost to a down destination. *)
 
 val queue_depth : 'msg t -> int
 (** Events (messages and timers) currently queued. *)
@@ -167,3 +175,9 @@ val attach_metrics : 'msg t -> Base_obs.Metrics.t -> unit
     [engine.inflight.nXX] gauges, and the [engine.corrupted_msgs] counter.
     Values remain pure functions of the seed — the registry only mirrors
     simulator state. *)
+
+val attach_profile : 'msg t -> Base_obs.Profile.t -> unit
+(** Bracket the engine's two hot entry points with profiling probes:
+    [engine.send] (accounting, fault draws, queue push) and
+    [engine.dispatch] (event pop and handler invocation — node handler
+    time, including nested protocol probes, accrues here too). *)

@@ -31,7 +31,7 @@ type basefs = {
 let make_basefs ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 512)
     ?(n_clients = 1) ?(homogeneous_impl = "hash") ?drop_p ?batch_max ?max_inflight
     ?client_timeout_us ?viewchange_timeout_us ?st_window ?st_chunk_bytes ?st_cache_objs
-    ?standbys ~hetero () =
+    ?standbys ?profile ~hetero () =
   let config =
     Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ?batch_max
       ?max_inflight ?client_timeout_us ?viewchange_timeout_us ?st_window ?st_chunk_bytes
@@ -41,7 +41,12 @@ let make_basefs ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 51
     let base =
       Engine.default_config ~size_of:Runtime.msg_size ~label_of:Runtime.msg_label
     in
-    { base with seed; drop_p = Option.value drop_p ~default:base.drop_p }
+    {
+      base with
+      seed;
+      drop_p = Option.value drop_p ~default:base.drop_p;
+      kind_of = Runtime.msg_kind;
+    }
   in
   (* Warm standbys run a wrapped implementation of their own, so the server
      and implementation-name tables cover the whole n+s group. *)
@@ -65,7 +70,7 @@ let make_basefs ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 51
     servers.(rid) <- Some server;
     Base_wrapper.Conformance.make ~server ~n_objects ()
   in
-  let runtime = Runtime.create ~engine_config ~config ~make_wrapper ~n_clients () in
+  let runtime = Runtime.create ~engine_config ?profile ~config ~make_wrapper ~n_clients () in
   engine_cell := Some (Runtime.engine runtime);
   { runtime; servers = Array.map Option.get servers; impl_of }
 
@@ -108,7 +113,7 @@ let registers_wrapper ~n_objects slots : Service.wrapper =
 
 let make_registers ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 64)
     ?(n_clients = 1) ?drop_p ?batch_max ?max_inflight ?client_timeout_us
-    ?viewchange_timeout_us ?standbys () =
+    ?viewchange_timeout_us ?standbys ?profile () =
   let config =
     Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ?batch_max
       ?max_inflight ?client_timeout_us ?viewchange_timeout_us ?standbys ~f ~n_clients ()
@@ -117,11 +122,16 @@ let make_registers ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects =
     let base =
       Engine.default_config ~size_of:Runtime.msg_size ~label_of:Runtime.msg_label
     in
-    { base with seed; drop_p = Option.value drop_p ~default:base.drop_p }
+    {
+      base with
+      seed;
+      drop_p = Option.value drop_p ~default:base.drop_p;
+      kind_of = Runtime.msg_kind;
+    }
   in
   let slots = Array.init (Types.group_size config) (fun _ -> Array.make n_objects "") in
   let make_wrapper rid = registers_wrapper ~n_objects slots.(rid) in
-  let runtime = Runtime.create ~engine_config ~config ~make_wrapper ~n_clients () in
+  let runtime = Runtime.create ~engine_config ?profile ~config ~make_wrapper ~n_clients () in
   { reg_runtime = runtime; slots }
 
 (** An unreplicated off-the-shelf server used as the comparison baseline:

@@ -19,6 +19,11 @@
 ;   (verifier  (module M) (name f))
 ;       MAC/digest verification: marks the handler path verified (B2) and
 ;       returns a clean bool.
+;   (benign    (module M) [(name f|prefix p)])
+;       Observability-only mutator (profiling probes, trace hooks): its
+;       writes are not replica state, so it is exempt from B2's
+;       verify-before-mutate ordering and does not mark its caller as
+;       mutating.
 ;   (sink      (module M) (name f) | (field f) | (setfield f)
 ;              (rule B1|B2|B3) [(arg_label l)] [(pos N)] (msg "..."))
 ;       Trusted sink: a wire-tainted argument (or assigned value, for
@@ -57,6 +62,13 @@
 
 (verifier (module Message) (name verify))
 (verifier (module Auth) (name check))
+
+; --- benign observability mutators ------------------------------------------
+
+; Profiling probes mutate only their own counters (calls/ns/alloc), never
+; anything a Byzantine message could leverage; bracketing a MAC check with
+; start/stop is the whole point of the [bft.verify] probe.
+(benign (module Profile))
 
 ; --- trusted sinks ----------------------------------------------------------
 

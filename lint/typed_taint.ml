@@ -76,11 +76,22 @@ type registry = {
   rg_param_sources : (string * string * int) list;  (* module, function, param idx *)
   rg_sanitizers : (name_pat * sanitizer_kind) list;
   rg_verifiers : name_pat list;
+  rg_benign : name_pat list;
+      (* observability-only mutators (profiling probes, trace hooks): their
+         writes are not replica state, so they neither count for B2's
+         verify-before-mutate ordering nor taint their caller's summary *)
   rg_sinks : sink_spec list;
 }
 
 let empty_registry =
-  { rg_sources = []; rg_param_sources = []; rg_sanitizers = []; rg_verifiers = []; rg_sinks = [] }
+  {
+    rg_sources = [];
+    rg_param_sources = [];
+    rg_sanitizers = [];
+    rg_verifiers = [];
+    rg_benign = [];
+    rg_sinks = [];
+  }
 
 let parse_entry rg = function
   | Checks.Sexp_list (Checks.Atom kind :: fields) -> (
@@ -132,6 +143,10 @@ let parse_entry rg = function
       match pat () with
       | Error e -> Error e
       | Ok p -> Ok { rg with rg_verifiers = p :: rg.rg_verifiers })
+    | "benign" -> (
+      match pat () with
+      | Error e -> Error e
+      | Ok p -> Ok { rg with rg_benign = p :: rg.rg_benign })
     | "sink" -> (
       let target =
         match (f "field", f "setfield") with
@@ -401,6 +416,8 @@ let find_sanitizer st key =
 let is_source st key = List.exists (fun p -> pat_matches st p key) st.registry.rg_sources
 
 let is_verifier st key = List.exists (fun p -> pat_matches st p key) st.registry.rg_verifiers
+
+let is_benign st key = List.exists (fun p -> pat_matches st p key) st.registry.rg_benign
 
 let fn_sinks st key =
   List.filter
@@ -772,6 +789,7 @@ and analyze_apply st env (e : T.expression) fn args =
       clean
     end
     else if is_source st key then wire_full
+    else if is_benign st key then clean
     else begin
       if mutation_prim key then mark_mutates st st.cur;
       (* Registered function sinks (Partition_tree coordinates, Objrepo
@@ -1138,7 +1156,8 @@ let rec events st (e : T.expression) : ev list =
     | Texp_ident (p, _, _) -> (
       let key = resolve fn.exp_env p in
       let name = match key with Some m, n -> m ^ "." ^ n | None, n -> n in
-      if is_verifier st key then arg_evs @ [ Ver ]
+      if is_benign st key then arg_evs
+      else if is_verifier st key then arg_evs @ [ Ver ]
       else if mutation_prim key then
         arg_evs
         @ [ Mut (line_of e.exp_loc, Printf.sprintf "%s mutates replica state" name) ]

@@ -97,11 +97,33 @@ let test_envelope_macs () =
       true
       (M.verify chains.(receiver) ~receiver env)
   done;
-  (* Tampering with the body voids every MAC. *)
-  let tampered =
-    { env with M.body = M.Prepare { view = 1; seq = 2; digest = Digest.of_string "d"; replica = 2 } }
-  in
-  Alcotest.(check bool) "tampered body rejected" false (M.verify chains.(0) ~receiver:0 tampered)
+  (* MACs bind the wire bytes: re-adopting the envelope's encoding through
+     the wire path verifies, but flipping any single byte of it voids every
+     receiver's MAC (decode may still succeed — e.g. a pad byte — so this
+     is strictly stronger than body inequality). *)
+  (match M.of_wire ~sender:3 ~macs:env.M.macs env.M.wire with
+  | Error e -> Alcotest.failf "own wire bytes failed to decode: %s" e
+  | Ok readopted ->
+    for receiver = 0 to 5 do
+      Alcotest.(check bool)
+        (Printf.sprintf "receiver %d verifies re-adopted wire" receiver)
+        true
+        (M.verify chains.(receiver) ~receiver readopted)
+    done);
+  for i = 0 to String.length env.M.wire - 1 do
+    let tampered_wire =
+      String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c) env.M.wire
+    in
+    match M.of_wire ~sender:3 ~macs:env.M.macs tampered_wire with
+    | Error _ -> ()  (* decode already rejected the corruption: fine *)
+    | Ok tampered ->
+      for receiver = 0 to 5 do
+        Alcotest.(check bool)
+          (Printf.sprintf "byte %d tampered: receiver %d rejects" i receiver)
+          false
+          (M.verify chains.(receiver) ~receiver tampered)
+      done
+  done
 
 let test_request_digest_stability () =
   let r = { M.client = 7; timestamp = 9L; operation = "op"; read_only = false } in

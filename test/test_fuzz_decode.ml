@@ -194,6 +194,161 @@ let test_huge_length_claims_bounded_alloc () =
       done)
     sample_bodies
 
+(* Differential decode: the zero-copy slice readers against the verbatim
+   pre-overhaul readers kept in [Xdr.Ref].  On every input — random bytes,
+   valid encodings, every 1-bit corruption of them — both must produce the
+   identical value or the identical [Decode_error], so the overhaul cannot
+   have changed what any wire input means. *)
+
+type outcome = Value of string | Failed of string | Raised of string
+
+let run_outcome show f =
+  match f () with
+  | v -> Value (show v)
+  | exception Xdr.Decode_error e -> Failed e
+  | exception e -> Raised (Printexc.to_string e)
+
+let show_outcome = function
+  | Value v -> "value " ^ v
+  | Failed e -> "Decode_error " ^ e
+  | Raised e -> "raised " ^ e
+
+(* Each probe reads a value with the new reader and with the reference
+   reader and renders it to a comparable string; [remaining] is folded in
+   so cursor positions are compared too, not just values. *)
+let diff_probes :
+    (string * (Xdr.decoder -> string) * (Xdr.Ref.decoder -> string)) list =
+  let shown to_s rem v = Printf.sprintf "%s/rem=%d" (to_s v) rem in
+  let str_list l = String.concat ";" l in
+  [
+    ( "u32",
+      (fun d -> shown string_of_int (Xdr.remaining d) (Xdr.read_u32 d)),
+      fun d -> shown string_of_int (Xdr.Ref.remaining d) (Xdr.Ref.read_u32 d) );
+    ( "i64",
+      (fun d -> shown Int64.to_string (Xdr.remaining d) (Xdr.read_i64 d)),
+      fun d -> shown Int64.to_string (Xdr.Ref.remaining d) (Xdr.Ref.read_i64 d) );
+    ( "bool",
+      (fun d -> shown string_of_bool (Xdr.remaining d) (Xdr.read_bool d)),
+      fun d -> shown string_of_bool (Xdr.Ref.remaining d) (Xdr.Ref.read_bool d) );
+    ( "opaque",
+      (fun d -> shown Fun.id (Xdr.remaining d) (Xdr.read_opaque d)),
+      fun d -> shown Fun.id (Xdr.Ref.remaining d) (Xdr.Ref.read_opaque d) );
+    ( "view",
+      (* read_view is wire-compatible with read_opaque: same bytes, same
+         cursor, no copy — compared against the reference copying reader. *)
+      (fun d -> shown Fun.id (Xdr.remaining d) (Xdr.view_to_string (Xdr.read_view d))),
+      fun d -> shown Fun.id (Xdr.Ref.remaining d) (Xdr.Ref.read_opaque d) );
+    ( "list-str",
+      (fun d -> shown str_list (Xdr.remaining d) (Xdr.read_list d Xdr.read_str)),
+      fun d ->
+        shown str_list (Xdr.Ref.remaining d) (Xdr.Ref.read_list d Xdr.Ref.read_str) );
+    ( "option-i64",
+      (fun d ->
+        shown
+          (function None -> "none" | Some v -> Int64.to_string v)
+          (Xdr.remaining d)
+          (Xdr.read_option d Xdr.read_i64)),
+      fun d ->
+        shown
+          (function None -> "none" | Some v -> Int64.to_string v)
+          (Xdr.Ref.remaining d)
+          (Xdr.Ref.read_option d Xdr.Ref.read_i64) );
+    ( "record-end",
+      (fun d ->
+        let a = Xdr.read_u32 d in
+        let b = Xdr.read_str d in
+        Xdr.expect_end d;
+        Printf.sprintf "%d:%s" a b),
+      fun d ->
+        let a = Xdr.Ref.read_u32 d in
+        let b = Xdr.Ref.read_str d in
+        Xdr.Ref.expect_end d;
+        Printf.sprintf "%d:%s" a b );
+  ]
+
+let diff_one ~what raw =
+  List.iter
+    (fun (name, new_read, ref_read) ->
+      let got = run_outcome Fun.id (fun () -> new_read (Xdr.decoder raw)) in
+      let want = run_outcome Fun.id (fun () -> ref_read (Xdr.Ref.decoder raw)) in
+      (match got with
+      | Raised e -> Alcotest.failf "%s %s: slice reader raised %s" what name e
+      | Value _ | Failed _ -> ());
+      if got <> want then
+        Alcotest.failf "%s %s: slice reader %s, reference reader %s" what name
+          (show_outcome got) (show_outcome want))
+    diff_probes
+
+let test_ref_differential_random () =
+  let rng = Prng.create 0xD1FFL in
+  for i = 1 to 1_500 do
+    let len = Prng.int rng 129 in
+    let raw = Bytes.to_string (Prng.bytes rng len) in
+    diff_one ~what:(Printf.sprintf "random #%d (len %d)" i len) raw
+  done
+
+let test_ref_differential_structured () =
+  (* A valid multi-field encoding, then every 1-bit corruption, every
+     truncation and a trailing extension — the same input family the
+     totality test uses, now required to agree with the oracle. *)
+  let e = Xdr.encoder () in
+  Xdr.u32 e 7;
+  Xdr.str e "differential";
+  Xdr.bool e false;
+  Xdr.list e Xdr.str [ "a"; ""; "long-enough-to-pad" ];
+  Xdr.option e Xdr.i64 (Some (-1L));
+  Xdr.opaque e "tail";
+  let valid = Xdr.contents e in
+  diff_one ~what:"valid encoding" valid;
+  for i = 0 to (8 * String.length valid) - 1 do
+    diff_one ~what:(Printf.sprintf "bit-flip %d" i) (flip valid i)
+  done;
+  for n = 0 to String.length valid - 1 do
+    diff_one ~what:(Printf.sprintf "truncated to %d" n) (String.sub valid 0 n)
+  done;
+  diff_one ~what:"trailing junk" (valid ^ "\x01")
+
+(* The point of the slice readers: walking a message through views must not
+   allocate in proportion to the payload.  A 256 KiB opaque field is read
+   as a view with O(1) allocation, where the materialising reader pays the
+   full copy. *)
+let test_view_path_allocation () =
+  let payload = String.make 262_144 'x' in
+  let e = Xdr.encoder () in
+  Xdr.u32 e 1;
+  Xdr.opaque e payload;
+  let raw = Xdr.contents e in
+  let view_path () =
+    let d = Xdr.decoder raw in
+    ignore (Xdr.read_u32 d);
+    let v = Xdr.read_view d in
+    Alcotest.(check bool) "view matches payload" true (Xdr.view_equal_string v payload)
+  in
+  let copy_path () =
+    let d = Xdr.decoder raw in
+    ignore (Xdr.read_u32 d);
+    Alcotest.(check bool) "opaque matches payload" true
+      (String.equal (Xdr.read_opaque d) payload)
+  in
+  (* Warm up so neither measurement pays one-time setup. *)
+  view_path ();
+  copy_path ();
+  let measure f =
+    let before = Gc.allocated_bytes () in
+    f ();
+    Gc.allocated_bytes () -. before
+  in
+  let view_alloc = measure view_path in
+  let copy_alloc = measure copy_path in
+  Alcotest.(check bool)
+    (Printf.sprintf "view path allocates O(1), got %.0f bytes" view_alloc)
+    true
+    (view_alloc < 4_096.);
+  Alcotest.(check bool)
+    (Printf.sprintf "copy path pays the payload, got %.0f bytes" copy_alloc)
+    true
+    (copy_alloc >= float_of_int (String.length payload))
+
 let suite =
   [
     Alcotest.test_case "decode_body: random bytes are total" `Quick
@@ -205,4 +360,9 @@ let suite =
     Alcotest.test_case "xdr readers: random bytes are total" `Quick
       test_xdr_random_bytes;
     Alcotest.test_case "xdr readers: bit flips are total" `Quick test_xdr_bit_flips;
+    Alcotest.test_case "xdr slice readers = reference readers (random)" `Quick
+      test_ref_differential_random;
+    Alcotest.test_case "xdr slice readers = reference readers (structured)" `Quick
+      test_ref_differential_structured;
+    Alcotest.test_case "view path allocates O(1)" `Quick test_view_path_allocation;
   ]

@@ -12,6 +12,9 @@ let () =
       ("bft", Test_bft.suite);
       ("client", Test_client.suite);
       ("bft-wire", Test_bft_wire.suite);
+      ("digest-memo", Test_digest_memo.suite);
+      ("mac-equiv", Test_mac_equiv.suite);
+      ("event-heap", Test_event_heap.suite);
       ("byzantine-input", Test_byzantine_input.suite @ Test_fuzz_decode.suite);
       ("determinism", Test_determinism.suite);
       ("faultplan", Test_faultplan.suite);

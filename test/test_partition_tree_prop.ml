@@ -173,10 +173,52 @@ let test_interior_nodes_consistent () =
       done)
     shapes
 
+(* Differential: the bulk [set_leaves] (one recompute per touched interior
+   node) must produce a tree node-for-node identical to the sequential
+   [set_leaf] fold it replaces — including duplicate indices, where the
+   last write wins in both. *)
+let test_bulk_matches_sequential () =
+  let rng = Prng.create 0xB01DL in
+  List.iter
+    (fun (n_leaves, branching) ->
+      for round = 1 to 25 do
+        let bulk = populated ~n_leaves ~branching in
+        let seq = PT.copy bulk in
+        let n_upd = 1 + Prng.int rng (2 * n_leaves) in
+        let updates =
+          List.init n_upd (fun k ->
+              (* Prng.int n_leaves can repeat: duplicates exercised on purpose. *)
+              (Prng.int rng n_leaves, obj_digest "bulk" k round))
+        in
+        PT.set_leaves bulk updates;
+        List.iter (fun (i, d) -> PT.set_leaf seq i d) updates;
+        for level = 0 to PT.levels bulk - 1 do
+          for index = 0 to PT.width bulk ~level - 1 do
+            Alcotest.(check bool)
+              (Printf.sprintf "bulk == sequential at (%d,%d), shape %dx%d" level index
+                 n_leaves branching)
+              true
+              (Digest.equal (PT.node bulk ~level ~index) (PT.node seq ~level ~index))
+          done
+        done
+      done)
+    shapes;
+  (* Degenerate arguments: empty and singleton lists. *)
+  let t = populated ~n_leaves:8 ~branching:2 in
+  let before = PT.root t in
+  PT.set_leaves t [];
+  Alcotest.(check bool) "empty update is a no-op" true (Digest.equal before (PT.root t));
+  PT.set_leaves t [ (3, obj_digest "one" 3 9) ];
+  let u = populated ~n_leaves:8 ~branching:2 in
+  PT.set_leaf u 3 (obj_digest "one" 3 9);
+  Alcotest.(check bool) "singleton matches set_leaf" true (PT.equal_root t u)
+
 let suite =
   [
     Alcotest.test_case "diff-descent finds exactly the mutated leaves" `Quick
       test_diff_descent_finds_exactly_mutated;
+    Alcotest.test_case "bulk set_leaves matches the sequential fold" `Quick
+      test_bulk_matches_sequential;
     Alcotest.test_case "equal trees have an empty diff" `Quick test_no_diff_no_descent;
     Alcotest.test_case "leaf tamper flips the root (and back)" `Quick
       test_tamper_changes_root;
