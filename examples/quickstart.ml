@@ -57,6 +57,7 @@ let make_wrapper _replica_id =
     check_nondet =
       (fun ~clock_us ~operation:_ ~nondet ->
         Service.default_check_nondet ~max_skew_us:1_000_000L ~clock_us ~nondet);
+    oids_of_op = Service.no_footprint;
   }
 
 let () =

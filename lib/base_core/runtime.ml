@@ -10,8 +10,8 @@ module Auth = Base_crypto.Auth
 
 type msg =
   | Bft of Message.envelope
-  | St of { from : int; body : State_transfer.msg }
-  | Raw of { from : int; macs : string array; bytes : string }
+  | St of { from : int; shard : int; body : State_transfer.msg }
+  | Raw of { from : int; shard : int; macs : string array; bytes : string }
 
 exception Stalled of string
 
@@ -75,6 +75,7 @@ type standby_sync = {
 
 type replica_node = {
   rid : int;
+  shard : int;  (* the agreement instance this cell serves; 0 when unsharded *)
   replica : Replica.t;
   mutable repo : Objrepo.t;
   mutable wrapper : Service.wrapper;
@@ -100,9 +101,50 @@ type replica_node = {
    [atk_mute_p] and the surviving ones delayed by [atk_delay_us]. *)
 type pp_attack = {
   atk_node : int;
+  atk_shard : int option;  (* [None] attacks the node's pre-prepares in every shard *)
   atk_mute_p : float;
   atk_delay_us : int;
   atk_until : int64;
+}
+
+(* --- cross-shard commit state ---------------------------------------------- *)
+
+(* One participant shard of a cross-shard operation, as seen by one node.
+   [xp_arrived] is the deterministic lock-acquisition event: the shard's
+   agreement instance reached the lock request at its committed execution
+   head and parked.  [xp_obliged] pairs the liveness obligation registered
+   with {!Replica.add_external_pending} so it is cleared exactly once. *)
+type xpart = {
+  xp_shard : int;
+  mutable xp_obliged : bool;
+  mutable xp_arrived : bool;
+}
+
+(* Per-node record of one cross-shard operation, keyed by the client
+   request's globally unique [(client, timestamp)] identity.  Entries are
+   never removed: a missing entry is indistinguishable from a completed one,
+   and late duplicate locks (view-change re-proposals) must keep resolving
+   to "done" rather than re-opening the protocol. *)
+type xop = {
+  x_client : int;
+  x_ts : int64;
+  x_coord : int;  (* coordinator shard: the smallest in the footprint *)
+  x_parts : xpart list;  (* ascending shard order *)
+  mutable x_lock_ts : int64;  (* agreed lock timestamp; [-1L] until derived *)
+  mutable x_done : bool;  (* the joint operation executed on this node *)
+}
+
+(* Cross-shard bookkeeping of one physical node (shared by its per-shard
+   replica cells).  [xn_lock_mark] derives duplicate-free lock timestamps
+   when one committed batch carries several cross-shard operations: queries
+   at head sequence [seq] hand out [seq * (batch_max + 1) + k] with [k]
+   counting up in batch order, which is agreed — so every node derives the
+   same timestamps without communicating. *)
+type xnode = {
+  xn_rid : int;
+  xn_ops : (string, xop) Hashtbl.t;  (* key "client:timestamp" *)
+  xn_lock_mark : (int * int) array;  (* per coordinator shard: (head seq, next k) *)
+  mutable xn_kick_armed : bool;
 }
 
 type t = {
@@ -110,6 +152,11 @@ type t = {
   config : Types.config;
   chains : Auth.keychain array;
   replicas : replica_node array;
+  cells : replica_node array array;
+      (* [cells.(shard).(rid)]: every node hosts one replica cell per shard
+         of the object space; [cells.(0) == replicas].  Unsharded systems
+         have exactly one row. *)
+  xnodes : xnode array;  (* per-node cross-shard commit state, indexed by rid *)
   standbys : replica_node array;  (* warm pool, node ids n .. n+s-1 *)
   clients : Client.t array;
   orchestrator : int;  (** pseudo-node owning recovery watchdog timers *)
@@ -133,9 +180,10 @@ type t = {
 
 let msg_size = function
   | Bft env -> env.Message.size
-  | St { body; _ } -> State_transfer.size body
-  | Raw { bytes; macs; _ } ->
+  | St { body; shard; _ } -> State_transfer.size body + Message.shard_overhead shard
+  | Raw { bytes; macs; shard; _ } ->
     Array.fold_left (fun acc m -> acc + String.length m) (String.length bytes) macs
+    + Message.shard_overhead shard
 
 let msg_label = function
   | Bft env -> Message.label env.Message.body
@@ -179,7 +227,8 @@ let trace_event t name attrs = Base_obs.Trace.event t.trace ~ts:(now t) ~name at
 
 (* --- state-transfer plumbing --------------------------------------------- *)
 
-let st_send t ~src ~dst body = Engine.send t.engine ~src ~dst (St { from = src; body })
+let st_send t ~src ~dst ~shard body =
+  Engine.send t.engine ~src ~dst (St { from = src; shard; body })
 
 (* Retry/stall-poll cadence for an active fetch.  Under load the group
    certifies a fresh checkpoint every few tens of milliseconds, so a fetch
@@ -251,7 +300,7 @@ let launch_fetch t node ~target_seq ~target_digest ~on_complete =
       ~trace:(fun line ->
         trace_event t "st.debug" [ ("line", line); ("rid", string_of_int node.rid) ])
       ~repo:node.repo ~sources ~target_seq ~target_digest
-      ~send:(fun ~dst body -> st_send t ~src:node.rid ~dst body)
+      ~send:(fun ~dst body -> st_send t ~src:node.rid ~dst ~shard:node.shard body)
       ~on_complete ()
   in
   if State_transfer.finished fetcher then ()
@@ -260,9 +309,11 @@ let launch_fetch t node ~target_seq ~target_digest ~on_complete =
     node.st_retries <- 0;
     node.st_progress <- 0;
     node.st_stalled <- 0;
+    (* The timer payload names the shard, so the per-node dispatcher can
+       route the retry tick to the right cell's fetcher. *)
     ignore
       (Engine.set_timer t.engine ~node:node.rid ~after:(Sim_time.of_us st_retry_period_us)
-         ~tag:"st_retry" ~payload:0)
+         ~tag:"st_retry" ~payload:node.shard)
   end
 
 (* Forward declaration hack: replica creation needs an app record whose
@@ -352,7 +403,7 @@ let handle_st t node ~from body =
   match body with
   | State_transfer.Fetch_head _ | State_transfer.Fetch_meta _ | State_transfer.Fetch_obj _ -> (
     match State_transfer.serve node.repo body with
-    | Some reply -> Engine.send t.engine ~src:node.rid ~dst:from (St { from = node.rid; body = reply })
+    | Some reply -> st_send t ~src:node.rid ~dst:from ~shard:node.shard reply
     | None -> ())
   | State_transfer.Head_reply _ | State_transfer.Meta_reply _ | State_transfer.Obj_reply _ -> (
     match node.fetcher with
@@ -432,6 +483,306 @@ let handle_st t node ~from body =
       end
     | None -> ())
 
+(* Factored out of the per-node event dispatcher so replica cells and
+   standbys share it: one retry/stall-detection round of the cell's active
+   fetch. *)
+let st_retry_tick t node =
+  match node.fetcher with
+  | Some fetcher when not (State_transfer.finished fetcher) ->
+    node.st_retries <- node.st_retries + 1;
+    (* Progress detection: a fetch whose counters have not moved for several
+       consecutive rounds is talking to replicas that no longer hold the
+       target (garbage-collected under load) — re-target quickly rather than
+       sitting out the full retry budget against a dead checkpoint. *)
+    let st0 = State_transfer.stats fetcher in
+    let progress =
+      st0.State_transfer.meta_fetched + st0.State_transfer.objects_fetched
+      + st0.State_transfer.chunks_fetched + st0.State_transfer.cache_hits
+      + st0.State_transfer.bytes_fetched
+    in
+    if progress = node.st_progress then node.st_stalled <- node.st_stalled + 1
+    else begin
+      node.st_progress <- progress;
+      node.st_stalled <- 0
+    end;
+    if node.st_retries > 8 then
+      (* The target checkpoint was probably garbage-collected by the group
+         while we fetched; restart against the freshest certified one. *)
+      retarget_fetch t node ~reason:"timeout"
+    else if node.st_stalled >= 3 then retarget_fetch t node ~reason:"stalled"
+    else begin
+      let st = State_transfer.stats fetcher in
+      let quar_before = st.State_transfer.quarantines in
+      State_transfer.retry fetcher;
+      t.st_totals.State_transfer.retries <- t.st_totals.State_transfer.retries + 1;
+      let quar_delta = st.State_transfer.quarantines - quar_before in
+      if quar_delta > 0 then begin
+        t.st_totals.State_transfer.quarantines <-
+          t.st_totals.State_transfer.quarantines + quar_delta;
+        Base_obs.Metrics.incr ~by:quar_delta
+          (Base_obs.Metrics.counter t.metrics "base.st.source_quarantined")
+      end;
+      trace_event t "st.retry"
+        [ ("attempt", string_of_int node.st_retries); ("rid", string_of_int node.rid) ];
+      ignore
+        (Engine.set_timer t.engine ~node:node.rid ~after:(Sim_time.of_us st_retry_period_us)
+           ~tag:"st_retry" ~payload:node.shard)
+    end
+  | Some _ | None -> ()
+
+(* --- cross-shard two-phase commit ------------------------------------------ *)
+
+(* See doc/sharding.md.  Each shard is an independent agreement instance
+   over a slice of the abstract object array; an operation whose declared
+   footprint spans several shards is ordered by the lowest one (the
+   coordinator) and blocked on lock requests the runtime injects into every
+   other involved shard (the participants).  All events below are derived
+   from committed sequence numbers, so every correct node drives the
+   protocol through exactly the same states without extra communication. *)
+
+(* An operation's [modify] touched an object outside the shards it is
+   entitled to.  Raised before any mutation of the foreign object (wrappers
+   call [modify] first), so aborting here is deterministic and leaves every
+   shard's state consistent. *)
+exception Xshard_footprint
+
+(* The deterministic reply of an aborted out-of-footprint execution: every
+   correct replica of the shard returns it, so agreement is unaffected; the
+   client sees it as a service-level error. *)
+let xabort_result = "#xshard-abort"
+
+let xkey ~client ~ts = Printf.sprintf "%d:%Ld" client ts
+
+(* Find-or-create: the first side to observe the operation on this node —
+   coordinator gate or participant lock — materialises the record. *)
+let xget xn ~client ~ts ~coord ~parts =
+  let key = xkey ~client ~ts in
+  match Hashtbl.find_opt xn.xn_ops key with
+  | Some x -> x
+  | None ->
+    let x =
+      {
+        x_client = client;
+        x_ts = ts;
+        x_coord = coord;
+        x_parts =
+          List.map (fun s -> { xp_shard = s; xp_obliged = false; xp_arrived = false }) parts;
+        x_lock_ts = -1L;
+        x_done = false;
+      }
+    in
+    Hashtbl.add xn.xn_ops key x;
+    x
+
+(* Lock requests ride the ordinary MACed request/pre-prepare path under a
+   virtual client id ([Types.internal_client ~shard:coordinator_shard]); the
+   operation string names the cross-shard operation they guard. *)
+let lock_operation x =
+  Printf.sprintf "xlock:%d:%d:%Ld:%s" x.x_coord x.x_client x.x_ts
+    (String.concat "," (List.map (fun p -> string_of_int p.xp_shard) x.x_parts))
+
+let parse_lock operation =
+  match String.split_on_char ':' operation with
+  | [ "xlock"; coord; client; ts; parts ] -> (
+    match
+      ( int_of_string_opt coord,
+        int_of_string_opt client,
+        Int64.of_string_opt ts,
+        List.filter_map int_of_string_opt (String.split_on_char ',' parts) )
+    with
+    | Some coord, Some client, Some ts, (_ :: _ as parts) -> Some (coord, client, ts, parts)
+    | _, _, _, _ -> None)
+  | _ -> None
+
+let assign_lock_ts t xn ~coord ~seq =
+  let mark_seq, k = xn.xn_lock_mark.(coord) in
+  let k = if mark_seq = seq then k else 0 in
+  xn.xn_lock_mark.(coord) <- (seq, k + 1);
+  Int64.of_int ((seq * (t.config.Types.batch_max + 1)) + k)
+
+(* Re-submission heartbeat: a participant primary that crashed (or lied)
+   before ordering a lock would otherwise stall the coordinator forever.
+   The cadence matches the view-change timeout, so by the time the kick
+   fires a wedged participant shard has rotated its primary.  Iteration is
+   in sorted key order — never in hash order — to keep runs deterministic. *)
+let arm_xkick t xn =
+  if not xn.xn_kick_armed then begin
+    xn.xn_kick_armed <- true;
+    ignore
+      (Engine.set_timer t.engine ~node:xn.xn_rid
+         ~after:(Sim_time.of_us t.config.Types.viewchange_timeout_us) ~tag:"xkick" ~payload:0)
+  end
+
+let submit_lock t xn (x : xop) (p : xpart) =
+  let cell = t.cells.(p.xp_shard).(xn.xn_rid) in
+  Replica.submit_internal cell.replica
+    {
+      Message.client = Types.internal_client ~shard:x.x_coord;
+      timestamp = x.x_lock_ts;
+      operation = lock_operation x;
+      read_only = false;
+    }
+
+let xshard_kick t xn =
+  xn.xn_kick_armed <- false;
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) xn.xn_ops [] |> List.sort String.compare
+  in
+  let live = ref false in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt xn.xn_ops key with
+      | Some x when (not x.x_done) && Int64.compare x.x_lock_ts 0L >= 0 ->
+        live := true;
+        List.iter (fun p -> if not p.xp_arrived then submit_lock t xn x p) x.x_parts
+      | Some _ | None -> ())
+    keys;
+  if !live then arm_xkick t xn
+
+(* The declared footprint of [operation], as the ascending list of shards it
+   touches.  Pure protocol decode — every node's wrapper answers alike. *)
+let footprint_shards t (w : Service.wrapper) ~operation =
+  match w.Service.oids_of_op ~operation with
+  | [] -> []
+  | oids ->
+    List.sort_uniq Int.compare (List.map (fun oid -> Types.shard_of_oid t.config oid) oids)
+
+(* The execution gate of shard [shard]'s cell on node [xn.xn_rid] (the
+   {!Replica.app.ready} hook; only installed when the space is sharded).
+
+   Participant side (internal virtual clients): the first query on a lock
+   request is the lock acquisition — the shard is parked at its committed
+   head, so the acquisition point is the same sequence number on every
+   replica.  The lock holds (gate closed) until the coordinator cell
+   executes the joint operation.
+
+   Coordinator side: a multi-shard client operation waits until every
+   participant cell on this node has parked at its lock. *)
+let xready t xn ~shard ~client ~timestamp ~operation =
+  if Types.is_internal_client client then begin
+    match parse_lock operation with
+    | None -> true  (* malformed internal request: execute as a no-op *)
+    | Some (coord, xclient, xts, parts) ->
+      let x = xget xn ~client:xclient ~ts:xts ~coord ~parts in
+      if Int64.compare x.x_lock_ts 0L < 0 then x.x_lock_ts <- timestamp;
+      if x.x_done then true
+      else begin
+        (match List.find_opt (fun p -> p.xp_shard = shard) x.x_parts with
+        | Some p when not p.xp_arrived ->
+          p.xp_arrived <- true;
+          if p.xp_obliged then begin
+            p.xp_obliged <- false;
+            Replica.clear_external_pending t.cells.(shard).(xn.xn_rid).replica
+          end;
+          (* The coordinator cell may be parked waiting for this arrival. *)
+          if List.for_all (fun q -> q.xp_arrived) x.x_parts then
+            Replica.resume_execution t.cells.(x.x_coord).(xn.xn_rid).replica
+        | Some _ | None -> ());
+        x.x_done
+      end
+  end
+  else begin
+    let node = t.cells.(shard).(xn.xn_rid) in
+    match footprint_shards t node.wrapper ~operation with
+    | [] | [ _ ] -> true
+    | coord :: parts when coord = shard ->
+      let x = xget xn ~client ~ts:timestamp ~coord ~parts in
+      if x.x_done then true
+      else begin
+        if Int64.compare x.x_lock_ts 0L < 0 then begin
+          (* First query: the committed head sequence is agreed, so the
+             derived lock timestamp is identical on every node. *)
+          let seq = Replica.last_executed node.replica + 1 in
+          x.x_lock_ts <- assign_lock_ts t xn ~coord ~seq
+        end;
+        let waiting = List.filter (fun p -> not p.xp_arrived) x.x_parts in
+        List.iter
+          (fun p ->
+            if not p.xp_obliged then begin
+              p.xp_obliged <- true;
+              (* Keep the participant shard's view-change timer armed while
+                 the lock is outstanding: a mute participant primary must
+                 not be able to park the coordinator forever. *)
+              Replica.add_external_pending t.cells.(p.xp_shard).(xn.xn_rid).replica
+            end;
+            submit_lock t xn x p)
+          waiting;
+        (match waiting with
+        | [] -> true
+        | _ :: _ ->
+          arm_xkick t xn;
+          false)
+      end
+    | _ :: _ -> true  (* misrouted: execute; foreign modifies abort deterministically *)
+  end
+
+(* Route one [modify] upcall to the owning shard's repo (index-shifted into
+   its slice).  [allowed] is the shard set the current execution holds: its
+   own shard, plus — for a joint operation on the coordinator — every
+   participant currently parked at its lock. *)
+let xmodify t xn ~allowed i =
+  let owner = Types.shard_of_oid t.config i in
+  if not (List.exists (fun s -> s = owner) allowed) then raise Xshard_footprint;
+  let cell = t.cells.(owner).(xn.xn_rid) in
+  let lo, _ = Types.shard_range t.config ~n_objects:cell.wrapper.Service.n_objects owner in
+  Objrepo.modify cell.repo (i - lo)
+
+(* The {!Replica.app.execute} hook of a sharded cell.  Lock requests reach
+   execution only once released, and mutate nothing.  A joint operation
+   executes on the coordinator cell while every participant is parked, with
+   [modify] routed per-object to the owning shard's repo — the mutation
+   lands between two fixed points of each participant's execution sequence,
+   so per-shard checkpoint digests stay identical across nodes — and then
+   releases the participants. *)
+let xexecute t xn ~shard ~client ~timestamp ~operation ~nondet ~read_only =
+  if Types.is_internal_client client then ""
+  else begin
+    let node = t.cells.(shard).(xn.xn_rid) in
+    let shards = footprint_shards t node.wrapper ~operation in
+    let joint =
+      match shards with
+      | coord :: _ :: _ when coord = shard && not read_only -> true
+      | _ :: _ | [] -> false
+    in
+    let allowed = if joint then shards else [ shard ] in
+    let result =
+      try
+        node.wrapper.Service.execute ~client ~operation ~nondet ~read_only
+          ~modify:(fun i -> xmodify t xn ~allowed i)
+      with Xshard_footprint -> xabort_result
+    in
+    (if joint then
+       match shards with
+       | coord :: parts ->
+         let x = xget xn ~client ~ts:timestamp ~coord ~parts in
+         if not x.x_done then begin
+           x.x_done <- true;
+           (* Release: each participant's gate now answers true; kick their
+              execution loops so the parked batches drain. *)
+           List.iter
+             (fun p -> Replica.resume_execution t.cells.(p.xp_shard).(xn.xn_rid).replica)
+             x.x_parts
+         end
+       | [] -> ());
+    result
+  end
+
+(* Index-shifted restriction of a node's wrapper to one shard's slice of
+   the abstract object array: the per-shard {!Objrepo} digests, checkpoints
+   and serves exactly the objects its agreement instance is responsible
+   for, while the concrete service state stays node-wide. *)
+let shard_view config ~shard (w : Service.wrapper) =
+  if Types.n_shards config <= 1 then w
+  else begin
+    let lo, hi = Types.shard_range config ~n_objects:w.Service.n_objects shard in
+    {
+      w with
+      Service.n_objects = hi - lo;
+      get_obj = (fun i -> w.Service.get_obj (lo + i));
+      put_objs = (fun objs -> w.Service.put_objs (List.map (fun (i, v) -> (lo + i, v)) objs));
+    }
+  end
+
 (* --- recovery -------------------------------------------------------------- *)
 
 let begin_reintegration t node =
@@ -455,6 +806,9 @@ let begin_reintegration t node =
   node.recovering <- false
 
 let recover_now ?reboot_us t rid =
+  Base_util.Invariant.require
+    (Array.length t.cells = 1)
+    "Runtime.recover_now: proactive recovery requires an unsharded object space";
   let reboot_us = Option.value reboot_us ~default:t.reboot_us in
   let node = t.replicas.(rid) in
   if not node.recovering then begin
@@ -581,18 +935,29 @@ let exec_fault t (ev : Faultplan.event) =
     trace_event t "fault.crash" [ ("rid", string_of_int n) ]
   | Faultplan.Reboot n ->
     Engine.set_node_up t.engine n true;
-    (* A rebooted replica lost its pending timers with the crash; re-arm. *)
+    (* A rebooted replica lost its pending timers with the crash; re-arm —
+       every per-shard cell the node hosts, plus the cross-shard kick. *)
     if n < t.config.Types.n then begin
-      let node = t.replicas.(n) in
-      Replica.on_reboot node.replica;
-      (* The st_retry chain is a runtime-level timer, so it died with the
-         crash too.  A fetch that was in flight would otherwise sit wedged
-         forever (status Fetching, no retries, no retarget) — restart it
-         against the freshest certified checkpoint. *)
-      match node.fetcher with
-      | Some fetcher when not (State_transfer.finished fetcher) ->
-        retarget_fetch t node ~reason:"reboot"
-      | Some _ | None -> ()
+      Array.iter
+        (fun row ->
+          let node = row.(n) in
+          Replica.on_reboot node.replica;
+          (* The st_retry chain is a runtime-level timer, so it died with
+             the crash too.  A fetch that was in flight would otherwise sit
+             wedged forever (status Fetching, no retries, no retarget) —
+             restart it against the freshest certified checkpoint. *)
+          match node.fetcher with
+          | Some fetcher when not (State_transfer.finished fetcher) ->
+            retarget_fetch t node ~reason:"reboot"
+          | Some _ | None -> ())
+        t.cells;
+      let xn = t.xnodes.(n) in
+      xn.xn_kick_armed <- false;
+      let keys =
+        Hashtbl.fold (fun k _ acc -> k :: acc) xn.xn_ops [] |> List.sort String.compare
+      in
+      if List.exists (fun k -> not (Hashtbl.find xn.xn_ops k).x_done) keys then
+        arm_xkick t xn
     end
     else if Types.is_standby t.config n then begin
       (* A rebooted standby lost its shadow-sync timer (and any in-flight
@@ -638,19 +1003,32 @@ let exec_fault t (ev : Faultplan.event) =
     Engine.fault_corrupt t.engine ~src ~dst ~p ~until:(until for_us);
     trace_event t "fault.corrupt"
       [ ("link", link_attr src dst); ("p", Printf.sprintf "%g" p) ]
-  | Faultplan.Set_behavior { node; behavior } ->
-    Replica.set_behavior t.replicas.(node).replica (replica_behavior behavior);
+  | Faultplan.Set_behavior { node; behavior; shard } ->
+    let b = replica_behavior behavior in
+    (match shard with
+    | Some s ->
+      if s >= 0 && s < Array.length t.cells then Replica.set_behavior t.cells.(s).(node).replica b
+    | None -> Array.iter (fun row -> Replica.set_behavior row.(node).replica b) t.cells);
     trace_event t "fault.behavior"
-      [ ("behavior", Faultplan.behavior_name behavior); ("rid", string_of_int node) ]
-  | Faultplan.Attack_pre_prepare { node; mute_p; delay_us; for_us } ->
+      ([ ("behavior", Faultplan.behavior_name behavior); ("rid", string_of_int node) ]
+      @ match shard with Some s -> [ ("shard", string_of_int s) ] | None -> [])
+  | Faultplan.Attack_pre_prepare { node; mute_p; delay_us; for_us; shard } ->
     t.pp_attack <-
-      Some { atk_node = node; atk_mute_p = mute_p; atk_delay_us = delay_us; atk_until = until for_us };
+      Some
+        {
+          atk_node = node;
+          atk_shard = shard;
+          atk_mute_p = mute_p;
+          atk_delay_us = delay_us;
+          atk_until = until for_us;
+        };
     trace_event t "fault.attack_preprepare"
-      [
-        ("delay_us", string_of_int delay_us);
-        ("mute", Printf.sprintf "%g" mute_p);
-        ("rid", string_of_int node);
-      ]
+      ([
+         ("delay_us", string_of_int delay_us);
+         ("mute", Printf.sprintf "%g" mute_p);
+         ("rid", string_of_int node);
+       ]
+      @ match shard with Some s -> [ ("shard", string_of_int s) ] | None -> [])
 
 let apply_faultplan t plan =
   let base = Array.length t.plan in
@@ -671,6 +1049,9 @@ let pp_attack_extra t rid (env : Message.envelope) =
   | Some atk
     when atk.atk_node = rid
          && Sim_time.compare (Engine.now t.engine) atk.atk_until < 0
+         && (match atk.atk_shard with
+            | Some s -> env.Message.shard = s
+            | None -> true)
          && (match env.Message.body with Message.Pre_prepare _ -> true | _ -> false) ->
     if
       atk.atk_mute_p > 0.0
@@ -817,6 +1198,12 @@ let disable_proactive_recovery t = t.recovery_on <- false
 
 let enable_proactive_recovery ?(reboot_us = 2_000_000) ?promote_us ?(migrate = false)
     ~period_us t =
+  (* Reintegration rebuilds and re-fetches the node's single repo; teaching
+     it to repair every per-shard cell is future work, so the watchdog is
+     gated to unsharded systems (as is the standby pool, in [create]). *)
+  Base_util.Invariant.require
+    (Array.length t.cells = 1)
+    "Runtime.enable_proactive_recovery: requires an unsharded object space";
   t.recovery_period_us <- period_us;
   t.reboot_us <- reboot_us;
   (match promote_us with Some v -> t.promote_us <- v | None -> ());
@@ -833,6 +1220,16 @@ let enable_proactive_recovery ?(reboot_us = 2_000_000) ?promote_us ?(migrate = f
     t.replicas
 
 (* --- construction ---------------------------------------------------------- *)
+
+(* Inverse of the per-shard timer-tag namespace the replica nets install:
+   "vc.s2" -> ("vc", 2); a tag without the suffix belongs to shard 0. *)
+let split_shard_tag tag =
+  match String.rindex_opt tag '.' with
+  | Some i when i + 2 < String.length tag && tag.[i + 1] = 's' -> (
+    match int_of_string_opt (String.sub tag (i + 2) (String.length tag - i - 2)) with
+    | Some k -> (String.sub tag 0 i, k)
+    | None -> (tag, 0))
+  | Some _ | None -> (tag, 0)
 
 let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_clients () =
   let engine_config =
@@ -880,6 +1277,7 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
             (Raw
                {
                  from = env.Message.sender;
+                 shard = env.Message.shard;
                  macs = env.Message.macs;
                  bytes = Bytes.to_string bytes;
                })
@@ -891,15 +1289,22 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
       ~n_principals:config.Types.n_principals
   in
   let n = config.Types.n in
+  let n_shards = Types.n_shards config in
   let group = Types.group_size config in
-  let replica_cells = Array.make group None in
+  let replica_cells = Array.make_matrix n_shards group None in
   let t_cell = ref None in
   let the () =
     match !t_cell with
     | Some t -> t
     | None -> raise (Internal_error "Runtime: node callback ran before wiring finished")
   in
-  let replica_net rid =
+  let replica_net ~shard rid =
+    (* Per-shard timer namespace: every cell arms "vc"/"status" through its
+       own net, the engine carries one flat tag space per physical node, so
+       non-zero shards get a ".s<k>" suffix that the dispatcher strips
+       again.  Shard 0 keeps the bare tags — the exact unsharded wiring. *)
+    let tag_vc = if shard = 0 then "vc" else Printf.sprintf "vc.s%d" shard in
+    let tag_status = if shard = 0 then "status" else Printf.sprintf "status.s%d" shard in
     {
       Replica.send =
         (fun ~dst env ->
@@ -913,16 +1318,32 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
             | Some extra_us -> Engine.send engine ~extra_us ~src:rid ~dst (Bft env)));
       set_timer =
         (fun ~after_us ~tag ~payload ->
+          let tag =
+            if String.equal tag "vc" then tag_vc
+            else if String.equal tag "status" then tag_status
+            else tag
+          in
           Engine.set_timer engine ~node:rid ~after:(Sim_time.of_us after_us) ~tag ~payload);
       cancel_timer = (fun id -> Engine.cancel_timer engine id);
       now_us = (fun () -> Engine.now engine);
     }
   in
-  let make_replica ~role rid =
-    let wrapper = make_wrapper rid in
-    let repo = Objrepo.create ~cache_objs:config.Types.st_cache_objs ~wrapper ~branching () in
+  let xnodes =
+    Array.init n (fun rid ->
+        {
+          xn_rid = rid;
+          xn_ops = Hashtbl.create 16;
+          xn_lock_mark = Array.make n_shards (-1, 0);
+          xn_kick_armed = false;
+        })
+  in
+  let make_cell ~role ~shard ~wrapper rid =
+    let repo =
+      Objrepo.create ~cache_objs:config.Types.st_cache_objs
+        ~wrapper:(shard_view config ~shard wrapper) ~branching ()
+    in
     let node_lazy () =
-      match replica_cells.(rid) with
+      match replica_cells.(shard).(rid) with
       | Some node -> node
       | None -> raise (Internal_error "Runtime: replica node referenced before construction")
     in
@@ -934,10 +1355,15 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
     let app =
       {
         Replica.execute =
-          (fun ~client ~operation ~nondet ~read_only ->
-            let node = node_lazy () in
-            node.wrapper.Service.execute ~client ~operation ~nondet ~read_only
-              ~modify:(fun i -> Objrepo.modify node.repo i));
+          (if n_shards <= 1 then
+             fun ~client ~timestamp:_ ~operation ~nondet ~read_only ->
+               let node = node_lazy () in
+               node.wrapper.Service.execute ~client ~operation ~nondet ~read_only
+                 ~modify:(fun i -> Objrepo.modify node.repo i)
+           else
+             fun ~client ~timestamp ~operation ~nondet ~read_only ->
+               xexecute (the ()) xnodes.(rid) ~shard ~client ~timestamp ~operation ~nondet
+                 ~read_only);
         propose_nondet =
           (fun ~operation ->
             (node_lazy ()).wrapper.Service.propose_nondet
@@ -946,16 +1372,21 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
           (fun ~operation ~nondet ->
             (node_lazy ()).wrapper.Service.check_nondet
               ~clock_us:(Engine.local_clock engine rid) ~operation ~nondet);
+        ready =
+          (if n_shards <= 1 then Replica.always_ready
+           else
+             fun ~client ~timestamp ~operation ->
+               xready (the ()) xnodes.(rid) ~shard ~client ~timestamp ~operation);
         take_checkpoint =
           (fun ~seq ->
-            match replica_cells.(rid) with
+            match replica_cells.(shard).(rid) with
             | Some node ->
               Objrepo.take_checkpoint node.repo ~seq
                 ~client_rows:(Replica.export_client_table node.replica)
             | None -> Objrepo.take_checkpoint repo ~seq ~client_rows:[]);
         discard_checkpoints_below =
           (fun seq ->
-            match replica_cells.(rid) with
+            match replica_cells.(shard).(rid) with
             | Some node -> Objrepo.discard_below node.repo seq
             | None -> Objrepo.discard_below repo seq);
         start_fetch =
@@ -965,8 +1396,8 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
       }
     in
     let replica =
-      Replica.create ~metrics ~profile ~role ~config ~id:rid ~keychain:chains.(rid)
-        ~net:(replica_net rid) ~app ()
+      Replica.create ~metrics ~profile ~role ~shard ~config ~id:rid ~keychain:chains.(rid)
+        ~net:(replica_net ~shard rid) ~app ()
     in
     let standby =
       match role with
@@ -984,6 +1415,7 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
     let node =
       {
         rid;
+        shard;
         replica;
         repo;
         wrapper;
@@ -1004,12 +1436,48 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
         timeline = None;
       }
     in
-    replica_cells.(rid) <- Some node;
+    replica_cells.(shard).(rid) <- Some node;
     node
   in
-  let replicas = Array.init n (make_replica ~role:Replica.Active) in
+  let wrappers = Array.init group (fun rid -> make_wrapper rid) in
+  if n_shards > 1 then begin
+    (* Promotion swaps a node's single repo/wrapper pair; per-shard repos
+       make that a per-cell operation the pool machinery does not implement,
+       so sharded systems run without warm standbys. *)
+    Base_util.Invariant.require (config.Types.s = 0)
+      "Runtime.create: a sharded object space cannot run a standby pool";
+    let n_objects = wrappers.(0).Service.n_objects in
+    for shard = 0 to n_shards - 1 do
+      let lo, hi = Types.shard_range config ~n_objects shard in
+      Base_util.Invariant.require (hi > lo)
+        "Runtime.create: every shard must own at least one abstract object"
+    done
+  end;
+  let cells =
+    Array.init n_shards (fun shard ->
+        Array.init n (fun rid ->
+            make_cell ~role:Replica.Active ~shard ~wrapper:wrappers.(rid) rid))
+  in
+  let replicas = cells.(0) in
   let standbys =
-    Array.init config.Types.s (fun i -> make_replica ~role:Replica.Standby (n + i))
+    Array.init config.Types.s (fun i ->
+        make_cell ~role:Replica.Standby ~shard:0 ~wrapper:wrappers.(n + i) (n + i))
+  in
+  (* Clients route each request to the agreement instance owning its
+     footprint; multi-shard footprints go to the lowest shard, which
+     coordinates the cross-shard commit.  The decode is pure protocol, so
+     replica 0's wrapper answers for everyone. *)
+  let route =
+    if n_shards <= 1 then fun _ -> 0
+    else
+      let w = wrappers.(0) in
+      fun operation ->
+        match w.Service.oids_of_op ~operation with
+        | [] -> 0
+        | oids ->
+          List.fold_left
+            (fun acc oid -> min acc (Types.shard_of_oid config oid))
+            (n_shards - 1) oids
   in
   let clients =
     Array.init n_clients (fun k ->
@@ -1026,7 +1494,7 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
         in
         (* All clients share the registry (and so one aggregate latency
            histogram) — constant memory per client, however many complete. *)
-        Client.create ~metrics ~profile ~config ~id:cid ~keychain:chains.(cid) ~net ())
+        Client.create ~metrics ~profile ~route ~config ~id:cid ~keychain:chains.(cid) ~net ())
   in
   let orchestrator = config.Types.n_principals in
   let t =
@@ -1035,6 +1503,8 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
       config;
       chains;
       replicas;
+      cells;
+      xnodes;
       standbys;
       clients;
       orchestrator;
@@ -1067,79 +1537,56 @@ let create ?engine_config ?profile ?(branching = 16) ~config ~make_wrapper ~n_cl
     }
   in
   t_cell := Some t;
-  (* Register event handlers (shared by active replicas and standbys; only
-     actives run the protocol status timer, only standbys the shadow tick). *)
-  let register_node node =
+  (* Register event handlers.  Each active physical node registers once and
+     dispatches to its per-shard cells: protocol envelopes by their shard
+     tag, state transfer by the St/Raw shard field, timers by payload
+     ("st_retry"), by tag suffix ("vc.s1"), or to the node-level cross-shard
+     kick.  Standbys (shard 0 only, enforced at create) keep the flat
+     single-cell handler plus the shadow tick. *)
+  let register_replica rid =
+    Engine.add_node engine ~id:rid (fun _engine ev ->
+        let cell shard =
+          if shard >= 0 && shard < n_shards then Some cells.(shard).(rid) else None
+        in
+        match ev with
+        | Engine.Deliver { src = _; msg = Bft env } -> (
+          match cell env.Message.shard with
+          | Some node -> Replica.receive node.replica env
+          | None -> ())  (* shard tag out of range: drop *)
+        | Engine.Deliver { src = _; msg = St { from; shard; body } } -> (
+          match cell shard with
+          | Some node -> handle_st t node ~from body
+          | None -> ())
+        | Engine.Deliver { src = _; msg = Raw { from; shard; macs; bytes } } -> (
+          (* Corrupted-in-flight bytes: feed the wire-decode path, which
+             counts and drops them (bft.reject.decode / bft.reject.mac). *)
+          match cell shard with
+          | Some node -> Replica.receive_wire ~shard node.replica ~sender:from ~macs bytes
+          | None -> ())
+        | Engine.Timer { tag = "st_retry"; payload } -> (
+          match cell payload with Some node -> st_retry_tick t node | None -> ())
+        | Engine.Timer { tag = "xkick"; _ } -> xshard_kick t xnodes.(rid)
+        | Engine.Timer { tag; payload } -> (
+          let base, shard = split_shard_tag tag in
+          match cell shard with
+          | Some node -> Replica.on_timer node.replica ~tag:base ~payload
+          | None -> ()))
+  in
+  for rid = 0 to n - 1 do
+    register_replica rid;
+    Array.iter (fun row -> Replica.start_status_timer row.(rid).replica) cells
+  done;
+  Array.iter
+    (fun node ->
       Engine.add_node engine ~id:node.rid (fun _engine ev ->
           match ev with
-          | Engine.Deliver { src; msg = Bft env } ->
-            ignore src;
-            Replica.receive node.replica env
-          | Engine.Deliver { src; msg = St { from; body } } ->
-            ignore src;
-            handle_st t node ~from body
-          | Engine.Deliver { src; msg = Raw { from; macs; bytes } } ->
-            (* Corrupted-in-flight bytes: feed the wire-decode path, which
-               counts and drops them (bft.reject.decode / bft.reject.mac). *)
-            ignore src;
+          | Engine.Deliver { msg = Bft env; _ } -> Replica.receive node.replica env
+          | Engine.Deliver { msg = St { from; body; _ }; _ } -> handle_st t node ~from body
+          | Engine.Deliver { msg = Raw { from; macs; bytes; _ }; _ } ->
             Replica.receive_wire node.replica ~sender:from ~macs bytes
-          | Engine.Timer { tag = "st_retry"; _ } -> (
-            match node.fetcher with
-            | Some fetcher when not (State_transfer.finished fetcher) ->
-              node.st_retries <- node.st_retries + 1;
-              (* Progress detection: a fetch whose counters have not moved
-                 for several consecutive rounds is talking to replicas that
-                 no longer hold the target (garbage-collected under load) —
-                 re-target quickly rather than sitting out the full retry
-                 budget against a dead checkpoint. *)
-              let st0 = State_transfer.stats fetcher in
-              let progress =
-                st0.State_transfer.meta_fetched + st0.State_transfer.objects_fetched
-                + st0.State_transfer.chunks_fetched + st0.State_transfer.cache_hits
-                + st0.State_transfer.bytes_fetched
-              in
-              if progress = node.st_progress then node.st_stalled <- node.st_stalled + 1
-              else begin
-                node.st_progress <- progress;
-                node.st_stalled <- 0
-              end;
-              if node.st_retries > 8 then
-                (* The target checkpoint was probably garbage-collected by
-                   the group while we fetched; restart against the freshest
-                   certified checkpoint. *)
-                retarget_fetch t node ~reason:"timeout"
-              else if node.st_stalled >= 3 then retarget_fetch t node ~reason:"stalled"
-              else begin
-                let st = State_transfer.stats fetcher in
-                let quar_before = st.State_transfer.quarantines in
-                State_transfer.retry fetcher;
-                t.st_totals.State_transfer.retries <- t.st_totals.State_transfer.retries + 1;
-                let quar_delta = st.State_transfer.quarantines - quar_before in
-                if quar_delta > 0 then begin
-                  t.st_totals.State_transfer.quarantines <-
-                    t.st_totals.State_transfer.quarantines + quar_delta;
-                  Base_obs.Metrics.incr ~by:quar_delta
-                    (Base_obs.Metrics.counter t.metrics "base.st.source_quarantined")
-                end;
-                trace_event t "st.retry"
-                  [ ("attempt", string_of_int node.st_retries);
-                    ("rid", string_of_int node.rid) ];
-                ignore
-                  (Engine.set_timer engine ~node:node.rid
-                     ~after:(Sim_time.of_us st_retry_period_us) ~tag:"st_retry" ~payload:0)
-              end
-            | Some _ | None -> ())
+          | Engine.Timer { tag = "st_retry"; _ } -> st_retry_tick t node
           | Engine.Timer { tag = "shadow_sync"; _ } -> shadow_tick t node
-          | Engine.Timer { tag; payload } -> Replica.on_timer node.replica ~tag ~payload)
-  in
-  Array.iter
-    (fun node ->
-      register_node node;
-      Replica.start_status_timer node.replica)
-    replicas;
-  Array.iter
-    (fun node ->
-      register_node node;
+          | Engine.Timer { tag; payload } -> Replica.on_timer node.replica ~tag ~payload);
       arm_shadow_timer t node)
     standbys;
   Array.iter
@@ -1199,7 +1646,14 @@ let invoke_sync t ~client ?read_only ~operation () =
   | Ok r -> r
   | Error e -> raise (Stalled e)
 
-let set_behavior t rid b = Replica.set_behavior t.replicas.(rid).replica b
+let set_behavior ?shard t rid b =
+  match shard with
+  | Some s -> Replica.set_behavior t.cells.(s).(rid).replica b
+  | None -> Array.iter (fun row -> Replica.set_behavior row.(rid).replica b) t.cells
+
+let n_shards t = Array.length t.cells
+
+let shard_replica t ~shard rid = t.cells.(shard).(rid)
 
 (* --- observability export --------------------------------------------------- *)
 

@@ -13,8 +13,10 @@ module Digest = Base_crypto.Digest_t
 
 type msg =
   | Bft of Base_bft.Message.envelope
-  | St of { from : int; body : State_transfer.msg }
-  | Raw of { from : int; macs : string array; bytes : string }
+  | St of { from : int; shard : int; body : State_transfer.msg }
+      (** [shard] routes the transfer to the per-shard replica cell that
+          owns the checkpoint being fetched; always [0] when unsharded *)
+  | Raw of { from : int; shard : int; macs : string array; bytes : string }
       (** a protocol message corrupted in flight, delivered as wire bytes;
           replicas feed it to {!Base_bft.Replica.receive_wire}, which counts
           and rejects it *)
@@ -83,6 +85,9 @@ type standby_sync = {
 
 type replica_node = {
   rid : int;
+  shard : int;
+      (** the agreement instance this cell serves; a physical node hosts one
+          cell per shard, all sharing its node id on the network *)
   replica : Base_bft.Replica.t;
   mutable repo : Objrepo.t;
   mutable wrapper : Service.wrapper;
@@ -130,6 +135,15 @@ val create :
     {!Objrepo} leaf cache is sized by [config.st_cache_objs], and its
     state-transfer pipeline by [config.st_window] / [config.st_chunk_bytes].
 
+    When [config.shard_bounds] names S > 1 shards, every physical node runs
+    S replica cells — one agreement instance per shard, each over an
+    index-shifted view of the node's single wrapper — and clients route each
+    request by its object footprint ({!Service.wrapper.oids_of_op}).
+    Multi-object operations spanning shards commit through the runtime's
+    deterministic two-phase protocol (see [doc/sharding.md]).  Sharded
+    systems require [config.s = 0] (no warm-standby pool) and every shard to
+    own at least one object of [make_wrapper 0]'s space.
+
     [profile] is shared by every replica, client and the engine (same
     aggregation model as the metrics registry); the default is a fresh
     disabled instance — pass one built with a real clock and
@@ -140,8 +154,16 @@ val engine : t -> msg Base_sim.Engine.t
 val config : t -> Base_bft.Types.config
 
 val replica : t -> int -> replica_node
+(** Shard-0 cell of replica [rid] — the whole node when unsharded. *)
 
 val replicas : t -> replica_node array
+(** The shard-0 row of cells (all active nodes when unsharded). *)
+
+val n_shards : t -> int
+(** Number of agreement instances; 1 when unsharded. *)
+
+val shard_replica : t -> shard:int -> int -> replica_node
+(** The cell of replica [rid] serving [shard]. *)
 
 val standbys : t -> replica_node array
 (** The warm pool, indexed [0 .. s-1]; node ids are [n .. n+s-1]. *)
@@ -180,7 +202,10 @@ val try_run_until_idle : ?max_events:int -> t -> (unit, string) result
 
 val now : t -> Base_sim.Sim_time.t
 
-val set_behavior : t -> int -> Base_bft.Replica.behavior -> unit
+val set_behavior : ?shard:int -> t -> int -> Base_bft.Replica.behavior -> unit
+(** Fault-injection behaviour of replica [rid]; [?shard] restricts it to one
+    agreement instance's cell, the default applies it to every cell the node
+    hosts. *)
 
 (** {1 Proactive recovery} *)
 

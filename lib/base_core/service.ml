@@ -13,7 +13,13 @@ type wrapper = {
   restart : unit -> unit;
   propose_nondet : clock_us:int64 -> operation:string -> string;
   check_nondet : clock_us:int64 -> operation:string -> nondet:string -> bool;
+  oids_of_op : operation:string -> int list;
 }
+
+(* The footprint every pre-sharding service declares: "no routing
+   information" — the runtime maps it to shard 0, which owns the whole
+   object space in unsharded configs. *)
+let no_footprint ~operation:_ = []
 
 let object_digest i data =
   let e = Base_codec.Xdr.encoder () in

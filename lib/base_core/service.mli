@@ -21,7 +21,13 @@
     - [propose_nondet]/[check_nondet] implement the agreement mechanism for
       non-deterministic values such as time-last-modified: the primary
       proposes a value derived from its local clock and backups sanity-check
-      it. *)
+      it.
+    - [oids_of_op] is the {e footprint} hook sharded deployments route by:
+      the abstract object ids an operation (statically) touches, derived
+      from the encoded operation alone, before execution.  It must be a
+      pure function of the operation string so every client and replica
+      computes the same footprint.  Returning [[]] means "no routing
+      information" and maps the operation to shard 0 (see doc/sharding.md). *)
 
 type wrapper = {
   name : string;  (** which implementation this replica runs *)
@@ -38,7 +44,12 @@ type wrapper = {
   restart : unit -> unit;
   propose_nondet : clock_us:int64 -> operation:string -> string;
   check_nondet : clock_us:int64 -> operation:string -> nondet:string -> bool;
+  oids_of_op : operation:string -> int list;
 }
+
+val no_footprint : operation:string -> int list
+(** The default footprint hook: always [[]] ("no routing information",
+    operation handled by shard 0) — what every unsharded service uses. *)
 
 val object_digest : int -> string -> Base_crypto.Digest_t.t
 (** Digest of one abstract object, bound to its index; the leaf value of the

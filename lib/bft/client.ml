@@ -28,6 +28,7 @@ type t = {
   id : int;
   keychain : Base_crypto.Auth.keychain;
   net : net;
+  route : string -> int;  (* operation -> shard whose agreement orders it *)
   mutable next_ts : int64;
   mutable current : pending option;
   queue : (string * bool * (string -> unit)) Queue.t;
@@ -37,7 +38,8 @@ type t = {
   p_seal : Base_obs.Profile.probe;
 }
 
-let create ?metrics ?(profile = Base_obs.Profile.disabled) ~config ~id ~keychain ~net () =
+let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(route = fun _ -> 0) ~config ~id
+    ~keychain ~net () =
   Base_util.Invariant.require
     (id >= Types.group_size (config : Types.config))
     "Client.create: id collides with a replica or standby";
@@ -53,6 +55,7 @@ let create ?metrics ?(profile = Base_obs.Profile.disabled) ~config ~id ~keychain
     id;
     keychain;
     net;
+    route;
     next_ts = 0L;
     current = None;
     queue = Queue.create ();
@@ -71,14 +74,17 @@ let stats t = t.stats
 (* Requests authenticate to the n replicas; replies come back with a
    client-specific MAC, so nothing a client seals scales with the total
    principal population. *)
-let seal t body =
+let seal t ~shard body =
   Base_obs.Profile.start t.prof t.p_seal;
-  let env = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body in
+  let env = M.seal t.keychain ~shard ~sender:t.id ~n_receivers:t.config.n body in
   Base_obs.Profile.stop t.prof t.p_seal;
   env
 
-let send_to_all t body =
-  let env = seal t body in
+(* All n replicas host every shard, so a request broadcast reaches the right
+   agreement instance whatever the shard — the tag decides which instance
+   (and thus which primary rotation) orders it. *)
+let send_request t (request : M.request) =
+  let env = seal t ~shard:(t.route request.operation) (M.Request request) in
   for r = 0 to t.config.n - 1 do
     t.net.send ~dst:r env
   done
@@ -110,7 +116,7 @@ let rec start_request t operation read_only callback =
   t.current <- Some p;
   (* First transmission goes to all replicas: backups relay to the primary
      and start their progress timers, which also covers primary failure. *)
-  send_to_all t (M.Request request);
+  send_request t request;
   p.timer <-
     t.net.set_timer ~after_us:t.config.client_timeout_us ~tag:"client"
       ~payload:(Int64.to_int ts)
@@ -187,13 +193,13 @@ let on_timer t ~tag ~payload =
       let p' = { p with request; attempts = 0 } in
       Hashtbl.reset p'.replies;
       t.current <- Some p';
-      send_to_all t (M.Request request);
+      send_request t request;
       p'.timer <-
         t.net.set_timer ~after_us:t.config.client_timeout_us ~tag:"client"
           ~payload:(Int64.to_int request.timestamp)
     end
     else begin
-      send_to_all t (M.Request p.request);
+      send_request t p.request;
       (* Exponential backoff, capped at 16x: during a network partition or a
          view change the client must keep probing without flooding the
          recovering group. *)

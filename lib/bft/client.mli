@@ -35,6 +35,7 @@ type t
 val create :
   ?metrics:Base_obs.Metrics.t ->
   ?profile:Base_obs.Profile.t ->
+  ?route:(string -> int) ->
   config:Types.config ->
   id:int ->
   keychain:Base_crypto.Auth.keychain ->
@@ -46,7 +47,14 @@ val create :
     clients sharing a registry share the histogram, which is how a large
     client pool keeps one aggregate latency series.  Defaults to a private
     registry.  [profile] attaches hot-path probes ([client.verify],
-    [client.seal]); defaults to the shared disabled instance. *)
+    [client.seal]); defaults to the shared disabled instance.
+
+    [route] maps an operation to the shard whose agreement instance must
+    order it (normally derived from the service's
+    {!Base_core.Service.wrapper.oids_of_op} footprint and
+    {!Types.shard_of_oid}); requests are tagged and MACed with its answer.
+    The default routes everything to shard 0 — correct for unsharded
+    systems and byte-identical to the pre-sharding wire format. *)
 
 val id : t -> int
 

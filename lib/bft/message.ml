@@ -71,6 +71,7 @@ type body =
    single-byte change to [wire] fails every receiver's verification. *)
 type envelope = {
   sender : int;
+  shard : int;  (* agreement instance this envelope belongs to; 0 = unsharded *)
   body : body;
   wire : string;  (* canonical encoding of [body]; raw bytes on the wire path *)
   mutable digest_memo : Digest.t option;  (* memoised SHA-256 of [wire] *)
@@ -288,51 +289,67 @@ let envelope_digest env =
     env.digest_memo <- Some d;
     d
 
-let seal chain ~sender ~n_receivers body =
+(* What the MACs authenticate.  Shard 0 signs the bare digest — byte-for-byte
+   what every pre-sharding deployment signed, so unsharded MAC streams (and
+   the blessed benches over them) are unchanged.  Shard k > 0 appends the
+   shard id, which binds the envelope to its agreement instance: a validly
+   MACed message replayed from shard j into shard k fails verification
+   instead of splicing one shard's certificate into another's log. *)
+let mac_input ~shard d =
+  if shard = 0 then Digest.raw d else Digest.raw d ^ String.make 1 (Char.chr (shard land 0xff))
+
+(* Shard k > 0 also pays 4 wire bytes for the shard tag in the header; the
+   unsharded size formula is unchanged. *)
+let shard_overhead shard = if shard = 0 then 0 else 4
+
+let seal chain ?(shard = 0) ~sender ~n_receivers body =
   let wire = encode_body body in
   let d = Digest.of_string wire in
-  let macs = Base_crypto.Auth.digest_authenticator chain ~n:n_receivers (Digest.raw d) in
+  let macs = Base_crypto.Auth.digest_authenticator chain ~n:n_receivers (mac_input ~shard d) in
   (* Wire size: body + one 8-byte truncated MAC per receiver + small header. *)
   {
     sender;
+    shard;
     body;
     wire;
     digest_memo = Some d;
     macs;
     mac_lo = 0;
-    size = String.length wire + (8 * n_receivers) + 16;
+    size = String.length wire + (8 * n_receivers) + 16 + shard_overhead shard;
   }
 
-let seal_for chain ~sender ~receiver body =
+let seal_for chain ?(shard = 0) ~sender ~receiver body =
   let wire = encode_body body in
   let d = Digest.of_string wire in
-  let macs = [| Base_crypto.Auth.mac_digest_for chain ~receiver (Digest.raw d) |] in
+  let macs = [| Base_crypto.Auth.mac_digest_for chain ~receiver (mac_input ~shard d) |] in
   {
     sender;
+    shard;
     body;
     wire;
     digest_memo = Some d;
     macs;
     mac_lo = receiver;
-    size = String.length wire + 8 + 16;
+    size = String.length wire + 8 + 16 + shard_overhead shard;
   }
 
 (* Adopt bytes as they arrived: the digest (hence every MAC check) covers
    what was actually received, so in-flight corruption that decode happens
    to tolerate — e.g. a flipped padding byte — still voids the MACs. *)
-let of_wire ~sender ~macs raw =
+let of_wire ?(shard = 0) ~sender ~macs raw =
   match decode_body raw with
   | Error _ as e -> e
   | Ok body ->
     Ok
       {
         sender;
+        shard;
         body;
         wire = raw;
         digest_memo = None;
         macs;
         mac_lo = 0;
-        size = String.length raw + (8 * Array.length macs) + 16;
+        size = String.length raw + (8 * Array.length macs) + 16 + shard_overhead shard;
       }
 
 let verify chain ~receiver env =
@@ -340,7 +357,7 @@ let verify chain ~receiver env =
   slot >= 0
   && slot < Array.length env.macs
   && Base_crypto.Auth.check_digest chain ~sender:env.sender
-       (Digest.raw (envelope_digest env))
+       (mac_input ~shard:env.shard (envelope_digest env))
        ~mac:env.macs.(slot)
 
 (* Constant per-constructor tag: what the engine's per-type traffic tables

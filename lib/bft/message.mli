@@ -89,6 +89,10 @@ type body =
     consistent. *)
 type envelope = {
   sender : int;
+  shard : int;
+      (** the agreement instance (shard) this envelope belongs to; [0] for
+          unsharded deployments.  The MACs bind it (see {!seal}), so a
+          certificate from one shard cannot be replayed into another. *)
   body : body;
   wire : string;  (** canonical encoding of [body] / bytes as received *)
   mutable digest_memo : Digest.t option;  (** memoised SHA-256 of [wire] *)
@@ -119,18 +123,28 @@ val decode_body : string -> (body, string) result
     values directly, but the wire format round-trips for real transports
     (property-tested). *)
 
-val seal : Base_crypto.Auth.keychain -> sender:int -> n_receivers:int -> body -> envelope
+val seal :
+  Base_crypto.Auth.keychain -> ?shard:int -> sender:int -> n_receivers:int -> body -> envelope
 (** Build an authenticated envelope for receivers [0 .. n_receivers - 1] —
     the form every replica-bound message uses ([n_receivers = n]).  The MAC
     vector no longer scales with the total principal count, which is what
-    keeps sealing affordable with thousands of registered clients. *)
+    keeps sealing affordable with thousands of registered clients.
+    [?shard] (default [0]) tags the envelope with its agreement instance;
+    for shard [k > 0] the MAC input mixes in the shard id, while shard 0
+    MACs are byte-identical to pre-sharding envelopes. *)
 
-val seal_for : Base_crypto.Auth.keychain -> sender:int -> receiver:int -> body -> envelope
+val seal_for :
+  Base_crypto.Auth.keychain -> ?shard:int -> sender:int -> receiver:int -> body -> envelope
 (** Build a unicast envelope carrying a single MAC for [receiver] — the form
-    replica-to-client replies use. *)
+    replica-to-client replies use.  [?shard] as in {!seal}. *)
+
+val shard_overhead : int -> int
+(** Accounted wire bytes of the shard tag: [0] for shard 0 (the tag is
+    implicit, keeping unsharded traffic byte-identical to pre-sharding
+    deployments) and [4] for any other shard. *)
 
 val of_wire :
-  sender:int -> macs:string array -> string -> (envelope, string) result
+  ?shard:int -> sender:int -> macs:string array -> string -> (envelope, string) result
 (** Build an envelope from raw received bytes: decode, then adopt the bytes
     as the envelope's [wire] so MAC checks cover exactly what arrived —
     corruption that decoding happens to tolerate (a flipped padding byte)

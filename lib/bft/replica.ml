@@ -3,13 +3,22 @@ module Auth = Base_crypto.Auth
 module M = Message
 
 type app = {
-  execute : client:int -> operation:string -> nondet:string -> read_only:bool -> string;
+  execute :
+    client:int ->
+    timestamp:int64 ->
+    operation:string ->
+    nondet:string ->
+    read_only:bool ->
+    string;
   propose_nondet : operation:string -> string;
   check_nondet : operation:string -> nondet:string -> bool;
+  ready : client:int -> timestamp:int64 -> operation:string -> bool;
   take_checkpoint : seq:Types.seqno -> Digest.t;
   discard_checkpoints_below : Types.seqno -> unit;
   start_fetch : seq:Types.seqno -> digest:Digest.t -> unit;
 }
+
+let always_ready ~client:_ ~timestamp:_ ~operation:_ = true
 
 type net = {
   send : dst:int -> Message.envelope -> unit;
@@ -60,8 +69,11 @@ type obs = {
   mutable last_cp : int64;  (* timestamp of the previous checkpoint; -1 before the first *)
 }
 
-let make_obs metrics =
-  let h name = Base_obs.Metrics.histogram metrics name in
+(* [suffix] distinguishes shards sharing one registry (".s1", ".s2", ...);
+   shard 0 keeps the historical unsuffixed names. *)
+let make_obs ?(suffix = "") metrics =
+  let h name = Base_obs.Metrics.histogram metrics (name ^ suffix) in
+  let c name = Base_obs.Metrics.counter metrics (name ^ suffix) in
   {
     m_pre_prepare = h "bft.phase.pre_prepare_us";
     m_prepare = h "bft.phase.prepare_us";
@@ -70,10 +82,10 @@ let make_obs metrics =
     m_total = h "bft.phase.total_us";
     m_view_change = h "bft.view_change_us";
     m_cp_interval = h "bft.checkpoint_interval_us";
-    c_reject_mac = Base_obs.Metrics.counter metrics "bft.reject.mac";
-    c_reject_decode = Base_obs.Metrics.counter metrics "bft.reject.decode";
-    c_reject_insane = Base_obs.Metrics.counter metrics "bft.reject.insane";
-    c_equivocation = Base_obs.Metrics.counter metrics "bft.equivocation_detected";
+    c_reject_mac = c "bft.reject.mac";
+    c_reject_decode = c "bft.reject.decode";
+    c_reject_insane = c "bft.reject.insane";
+    c_equivocation = c "bft.equivocation_detected";
     vc_started = -1L;
     last_cp = -1L;
   }
@@ -105,6 +117,7 @@ type client_rec = {
 type t = {
   config : Types.config;
   id : int;
+  shard : int;  (* agreement instance this replica serves; 0 when unsharded *)
   keychain : Auth.keychain;
   net : net;
   app : app;
@@ -128,6 +141,11 @@ type t = {
   mutable last_progress_exec : Types.seqno;
   mutable fetch_in_progress : (Types.seqno * Digest.t) option;
   mutable resume_vc_after_fetch : bool;
+  mutable external_pending : int;
+      (* runtime-tracked obligations (cross-shard locks held or awaited) that
+         must keep the progress timer armed even with no client pending *)
+  mutable in_try_execute : bool;  (* reentrancy guard: see [try_execute] *)
+  mutable exec_again : bool;
   peer_views : (int, Types.view) Hashtbl.t;  (* latest STATUS-reported views *)
   mutable last_nv : M.new_view option;
       (* the NEW-VIEW this primary broadcast for its current view, kept for
@@ -155,6 +173,11 @@ let fresh_entry () =
   }
 
 let now t = t.net.now_us ()
+
+(* Every primary computation below goes through this: each shard runs its own
+   rotation, offset so concurrent shards spread their primaries over distinct
+   replicas in any given view. *)
+let primary_of t view = Types.shard_primary t.config ~shard:t.shard view
 
 (* Record [until - since] in [hist]; skipped when the earlier milestone was
    never seen locally (e.g. the slot arrived pre-committed via new-view). *)
@@ -243,7 +266,7 @@ let export_client_table t = client_rows_of_table t.clients
    carry a single MAC for their client (see [send_reply]). *)
 let seal t body =
   Base_obs.Profile.start t.prof t.p_seal;
-  let env = M.seal t.keychain ~sender:t.id ~n_receivers:t.config.n body in
+  let env = M.seal t.keychain ~shard:t.shard ~sender:t.id ~n_receivers:t.config.n body in
   Base_obs.Profile.stop t.prof t.p_seal;
   env
 
@@ -266,7 +289,10 @@ let broadcast t body =
 let broadcast_group t body =
   if t.behavior <> Mute then begin
     Base_obs.Profile.start t.prof t.p_seal;
-    let env = M.seal t.keychain ~sender:t.id ~n_receivers:(Types.group_size t.config) body in
+    let env =
+      M.seal t.keychain ~shard:t.shard ~sender:t.id ~n_receivers:(Types.group_size t.config)
+        body
+    in
     Base_obs.Profile.stop t.prof t.p_seal;
     for r = 0 to Types.group_size t.config - 1 do
       if r <> t.id then t.net.send ~dst:r env
@@ -283,7 +309,9 @@ let send_reply t (reply : M.reply) =
   in
   if t.behavior <> Mute then begin
     Base_obs.Profile.start t.prof t.p_seal;
-    let env = M.seal_for t.keychain ~sender:t.id ~receiver:reply.client (M.Reply reply) in
+    let env =
+      M.seal_for t.keychain ~shard:t.shard ~sender:t.id ~receiver:reply.client (M.Reply reply)
+    in
     Base_obs.Profile.stop t.prof t.p_seal;
     t.net.send ~dst:reply.client env
   end
@@ -291,7 +319,8 @@ let send_reply t (reply : M.reply) =
 (* --- timers ------------------------------------------------------------- *)
 
 let has_pending t =
-  List.exists (fun (_, r) -> r.pending <> None) (sorted_bindings t.clients)
+  t.external_pending > 0
+  || List.exists (fun (_, r) -> r.pending <> None) (sorted_bindings t.clients)
 
 let cancel_vc_timer t =
   match t.vc_timer with
@@ -363,54 +392,105 @@ and take_checkpoint t =
 
 (* --- execution ---------------------------------------------------------- *)
 
+(* An entry may only execute when every not-yet-executed request in its batch
+   passes the runtime's [ready] gate.  The gate is consulted for internal
+   (cross-shard) requests too: the runtime uses the first ready-query on a
+   lock request as the lock-acquisition event, so arrival at the gate — not
+   execution — is what orders the lock on every replica identically.  The
+   whole batch parks together: executing a prefix would split one consensus
+   instance across checkpoints. *)
+and entry_ready t (pp : M.pre_prepare) =
+  List.for_all
+    (fun (r : M.request) ->
+      r.client = -1
+      ||
+      let cr = client_rec t r.client in
+      r.timestamp <= cr.last_ts
+      || t.app.ready ~client:r.client ~timestamp:r.timestamp ~operation:r.operation)
+    pp.requests
+
+and execute_entry t seq entry (pp : M.pre_prepare) =
+  List.iter
+    (fun (r : M.request) ->
+      if r.client >= 0 && not (Types.is_internal_client r.client) then begin
+        let cr = client_rec t r.client in
+        (* A request can be ordered twice across view changes; only its
+           first ordering executes (exactly-once semantics via the
+           client-table timestamp). *)
+        if r.timestamp > cr.last_ts then begin
+          t.stats.executed_requests <- t.stats.executed_requests + 1;
+          Base_obs.Profile.start t.prof t.p_exec;
+          let result =
+            t.app.execute ~client:r.client ~timestamp:r.timestamp ~operation:r.operation
+              ~nondet:pp.nondet ~read_only:false
+          in
+          Base_obs.Profile.stop t.prof t.p_exec;
+          cr.last_ts <- r.timestamp;
+          let reply =
+            { M.view = t.view; timestamp = r.timestamp; client = r.client; replica = t.id;
+              result }
+          in
+          cr.last_reply <- Some reply;
+          (match cr.pending with
+          | Some p when p.timestamp <= r.timestamp -> cr.pending <- None
+          | Some _ | None -> ());
+          send_reply t reply
+        end
+        else begin
+          match cr.pending with
+          | Some p when p.timestamp <= r.timestamp -> cr.pending <- None
+          | Some _ | None -> ()
+        end
+      end
+      else if Types.is_internal_client r.client then begin
+        (* Internal (runtime-injected) request, e.g. a cross-shard lock: it
+           executes through the same upcall — the runtime recognises the
+           virtual client id — but no reply is sent and no pending
+           bookkeeping applies.  The timestamp dedupe still guards against
+           re-ordering across view changes. *)
+        let cr = client_rec t r.client in
+        if r.timestamp > cr.last_ts then begin
+          t.stats.executed_requests <- t.stats.executed_requests + 1;
+          Base_obs.Profile.start t.prof t.p_exec;
+          ignore
+            (t.app.execute ~client:r.client ~timestamp:r.timestamp ~operation:r.operation
+               ~nondet:pp.nondet ~read_only:false);
+          Base_obs.Profile.stop t.prof t.p_exec;
+          cr.last_ts <- r.timestamp
+        end
+      end)
+    pp.requests;
+  t.last_exec <- seq;
+  t.stats.executed <- t.stats.executed + 1;
+  observe_span t.obs.m_execute ~since:entry.t_committed ~until:(now t);
+  observe_span t.obs.m_total ~since:entry.t_pp ~until:(now t);
+  restart_vc_timer t;
+  drain_queue t;
+  if seq mod t.config.checkpoint_period = 0 then take_checkpoint t
+
 and try_execute t =
-  let continue = ref (t.status <> Fetching) in
-  while !continue do
-    let seq = t.last_exec + 1 in
-    match Hashtbl.find_opt t.entries seq with
-    | Some ({ committed = true; pre_prepare = Some pp; _ } as entry) ->
-      List.iter
-        (fun (r : M.request) ->
-          if r.client >= 0 then begin
-            let cr = client_rec t r.client in
-            (* A request can be ordered twice across view changes; only its
-               first ordering executes (exactly-once semantics via the
-               client-table timestamp). *)
-            if r.timestamp > cr.last_ts then begin
-              t.stats.executed_requests <- t.stats.executed_requests + 1;
-              Base_obs.Profile.start t.prof t.p_exec;
-              let result =
-                t.app.execute ~client:r.client ~operation:r.operation ~nondet:pp.nondet
-                  ~read_only:false
-              in
-              Base_obs.Profile.stop t.prof t.p_exec;
-              cr.last_ts <- r.timestamp;
-              let reply =
-                { M.view = t.view; timestamp = r.timestamp; client = r.client; replica = t.id;
-                  result }
-              in
-              cr.last_reply <- Some reply;
-              (match cr.pending with
-              | Some p when p.timestamp <= r.timestamp -> cr.pending <- None
-              | Some _ | None -> ());
-              send_reply t reply
-            end
-            else begin
-              match cr.pending with
-              | Some p when p.timestamp <= r.timestamp -> cr.pending <- None
-              | Some _ | None -> ()
-            end
-          end)
-        pp.requests;
-      t.last_exec <- seq;
-      t.stats.executed <- t.stats.executed + 1;
-      observe_span t.obs.m_execute ~since:entry.t_committed ~until:(now t);
-      observe_span t.obs.m_total ~since:entry.t_pp ~until:(now t);
-      restart_vc_timer t;
-      drain_queue t;
-      if seq mod t.config.checkpoint_period = 0 then take_checkpoint t
-    | Some _ | None -> continue := false
-  done
+  (* The ready/execute upcalls can re-enter (releasing a cross-shard lock on
+     one replica kicks execution on another replica of the same node, whose
+     execute upcall can release back).  A nested call only records that more
+     work may be possible; the outermost activation re-checks. *)
+  if t.in_try_execute then t.exec_again <- true
+  else begin
+    t.in_try_execute <- true;
+    Fun.protect
+      ~finally:(fun () -> t.in_try_execute <- false)
+      (fun () ->
+        let continue = ref (t.status <> Fetching) in
+        while !continue do
+          t.exec_again <- false;
+          let seq = t.last_exec + 1 in
+          (match Hashtbl.find_opt t.entries seq with
+          | Some ({ committed = true; pre_prepare = Some pp; _ } as entry) ->
+            if entry_ready t pp then execute_entry t seq entry pp
+            else continue := false
+          | Some _ | None -> continue := false);
+          if (not !continue) && t.exec_again && t.status <> Fetching then continue := true
+        done)
+  end
 
 (* --- certificates ------------------------------------------------------- *)
 
@@ -428,7 +508,7 @@ and maybe_committed t _seq entry =
 and maybe_prepared t seq entry =
   match entry.pre_prepare with
   | Some pp ->
-    let primary = Types.primary t.config pp.view in
+    let primary = primary_of t pp.view in
     let count =
       List.fold_left
         (fun acc (r, d) -> if r <> primary && Digest.equal d pp.digest then acc + 1 else acc)
@@ -521,7 +601,7 @@ and propose t (r : M.request) =
     assign t [ r ]
 
 and drain_queue t =
-  if Types.primary t.config t.view = t.id && t.status = Normal then begin
+  if primary_of t t.view = t.id && t.status = Normal then begin
     let continue = ref true in
     while (not (Queue.is_empty t.queued_requests)) && !continue do
       if window_full t || inflight t >= t.config.max_inflight then continue := false
@@ -542,7 +622,7 @@ and drain_queue t =
     done
   end
 
-let is_primary t = Types.primary t.config t.view = t.id
+let is_primary t = primary_of t t.view = t.id
 
 let in_window t seq = seq > t.h && seq <= t.h + t.config.log_window
 
@@ -551,7 +631,8 @@ let in_window t seq = seq > t.h && seq <= t.h + t.config.log_window
 let execute_read_only t (r : M.request) =
   Base_obs.Profile.start t.prof t.p_exec;
   let result =
-    t.app.execute ~client:r.client ~operation:r.operation ~nondet:"" ~read_only:true
+    t.app.execute ~client:r.client ~timestamp:r.timestamp ~operation:r.operation ~nondet:""
+      ~read_only:true
   in
   Base_obs.Profile.stop t.prof t.p_exec;
   send_reply t
@@ -581,7 +662,7 @@ let handle_request t env (r : M.request) =
         else begin
           (* Relay the client's own envelope so the primary can check the
              client's MAC, and start the progress timer. *)
-          t.net.send ~dst:(Types.primary t.config t.view) env;
+          t.net.send ~dst:(primary_of t t.view) env;
           start_vc_timer t
         end
       end
@@ -591,7 +672,7 @@ let handle_request t env (r : M.request) =
 (* --- pre-prepare / prepare / commit ------------------------------------- *)
 
 let handle_pre_prepare t sender (pp : M.pre_prepare) =
-  let primary = Types.primary t.config pp.view in
+  let primary = primary_of t pp.view in
   if
     sender = primary && pp.view = t.view && t.status = Normal && in_window t pp.seq
     && t.id <> primary
@@ -658,7 +739,7 @@ let handle_pre_prepare t sender (pp : M.pre_prepare) =
 let handle_prepare t sender (p : M.prepare) =
   if
     sender = p.replica && p.view = t.view && t.status = Normal && in_window t p.seq
-    && sender <> Types.primary t.config p.view
+    && sender <> primary_of t p.view
   then begin
     let entry = get_entry t p.seq in
     if not (Hashtbl.mem entry.prepares sender) then begin
@@ -942,7 +1023,7 @@ and install_new_view t v' min_s (o : M.pre_prepare list) =
       (sorted_bindings t.clients)
 
 and check_new_view t v' =
-  if Types.primary t.config v' = t.id && t.status = View_changing && t.view = v' then begin
+  if primary_of t v' = t.id && t.status = View_changing && t.view = v' then begin
     let tbl = vc_table t v' in
     if Hashtbl.length tbl >= Types.quorum t.config then begin
       let vc_list = List.map snd (sorted_bindings tbl) in
@@ -1020,7 +1101,7 @@ let nv_sane t (nv : M.new_view) =
 
 let handle_new_view t sender (nv : M.new_view) =
   let v' = nv.nv_view in
-  if sender = Types.primary t.config v' && v' >= t.view && sender <> t.id then begin
+  if sender = primary_of t v' && v' >= t.view && sender <> t.id then begin
     (* Recompute O from the view-change messages the primary claims to have
        used; if we hold them all, the result must match exactly. *)
     let tbl = vc_table t v' in
@@ -1161,7 +1242,7 @@ let handle_status t sender (st : M.status_msg) =
      verifies and installs through the normal quorum-trusting path. *)
   if sender = st.st_replica && st.st_view < t.view then begin
     match t.last_nv with
-    | Some nv when nv.M.nv_view = t.view && Types.primary t.config t.view = t.id ->
+    | Some nv when nv.M.nv_view = t.view && primary_of t t.view = t.id ->
       send_one t ~dst:sender (M.New_view nv)
     | Some _ | None -> ()
   end;
@@ -1183,7 +1264,7 @@ let handle_status t sender (st : M.status_msg) =
         let seq = upper - count + off in
         (match Hashtbl.find_opt t.entries seq with
         | Some ({ pre_prepare = Some pp; _ } as entry) when pp.view = t.view ->
-          if Types.primary t.config pp.view = t.id then
+          if primary_of t pp.view = t.id then
             send_one t ~dst:sender (M.Pre_prepare pp)
           else if Hashtbl.mem entry.prepares t.id then
             send_one t ~dst:sender
@@ -1229,6 +1310,13 @@ let receive t (env : M.envelope) =
     t.stats.rejected_macs <- t.stats.rejected_macs + 1;
     Base_obs.Metrics.incr t.obs.c_reject_mac
   end
+  else if env.shard <> t.shard then begin
+    (* The MAC binds the shard tag, so this is a well-authenticated message
+       for a different agreement instance — mis-routed, not forged.  It is
+       meaningless here (seqnos and views are per-shard namespaces). *)
+    t.stats.rejected_insane <- t.stats.rejected_insane + 1;
+    Base_obs.Metrics.incr t.obs.c_reject_insane
+  end
   else begin
     Base_obs.Profile.start t.prof t.p_handle;
     (if t.role = Standby then begin
@@ -1258,15 +1346,15 @@ let receive t (env : M.envelope) =
     Base_obs.Profile.stop t.prof t.p_handle
   end
 
-let receive_wire t ~sender ~macs raw =
-  match M.of_wire ~sender ~macs raw with
+let receive_wire ?(shard = 0) t ~sender ~macs raw =
+  match M.of_wire ~shard ~sender ~macs raw with
   | Error _ ->
     t.stats.rejected_decode <- t.stats.rejected_decode + 1;
     Base_obs.Metrics.incr t.obs.c_reject_decode
   | Ok env -> receive t env
 
-let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(role = Active) ~config ~id ~keychain
-    ~net ~app () =
+let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(role = Active) ?(shard = 0) ~config
+    ~id ~keychain ~net ~app () =
   let metrics =
     match metrics with Some m -> m | None -> Base_obs.Metrics.create ()
   in
@@ -1274,6 +1362,7 @@ let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(role = Active) ~con
     {
       config;
       id;
+      shard;
       keychain;
       net;
       app;
@@ -1297,6 +1386,9 @@ let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(role = Active) ~con
       last_progress_exec = 0;
       fetch_in_progress = None;
       resume_vc_after_fetch = false;
+      external_pending = 0;
+      in_try_execute = false;
+      exec_again = false;
       peer_views = Hashtbl.create 8;
       last_nv = None;
       stats =
@@ -1310,7 +1402,7 @@ let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(role = Active) ~con
           rejected_decode = 0;
           rejected_insane = 0;
         };
-      obs = make_obs metrics;
+      obs = make_obs ~suffix:(if shard = 0 then "" else Printf.sprintf ".s%d" shard) metrics;
       prof = profile;
       p_verify = Base_obs.Profile.probe profile "bft.verify";
       p_seal = Base_obs.Profile.probe profile "bft.seal";
@@ -1327,7 +1419,26 @@ let create ?metrics ?(profile = Base_obs.Profile.disabled) ?(role = Active) ~con
 
 let id t = t.id
 
+let shard t = t.shard
+
 let role t = t.role
+
+(* --- cross-shard runtime hooks ------------------------------------------- *)
+
+let submit_internal t (r : M.request) =
+  if t.role = Active && t.status = Normal && is_primary t then propose t r
+
+let resume_execution t =
+  try_execute t;
+  drain_queue t
+
+let add_external_pending t =
+  t.external_pending <- t.external_pending + 1;
+  start_vc_timer t
+
+let clear_external_pending t =
+  t.external_pending <- max 0 (t.external_pending - 1);
+  restart_vc_timer t
 
 let view t = t.view
 

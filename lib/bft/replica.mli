@@ -15,13 +15,29 @@ module Digest = Base_crypto.Digest_t
 
 (** Upcalls into the replicated service (implemented by [Base_core]). *)
 type app = {
-  execute : client:int -> operation:string -> nondet:string -> read_only:bool -> string;
-      (** Execute one operation and return the marshalled result. *)
+  execute :
+    client:int ->
+    timestamp:int64 ->
+    operation:string ->
+    nondet:string ->
+    read_only:bool ->
+    string;
+      (** Execute one operation and return the marshalled result.
+          [(client, timestamp)] is the request's globally unique identity —
+          the cross-shard commit keys its bookkeeping on it. *)
   propose_nondet : operation:string -> string;
       (** Primary-side proposal of non-deterministic values (e.g. the
           operation timestamp read from the local clock). *)
   check_nondet : operation:string -> nondet:string -> bool;
       (** Backup-side sanity check of the primary's proposal. *)
+  ready : client:int -> timestamp:int64 -> operation:string -> bool;
+      (** Execution gate, consulted for every not-yet-executed request of the
+          next committed batch.  Returning [false] parks the whole batch (the
+          replica stays committed-but-unexecuted at that slot) until the
+          runtime calls {!resume_execution}.  The cross-shard commit protocol
+          uses the {e first} [false] answer on a lock request as the
+          deterministic lock-acquisition event.  Use {!always_ready} when the
+          service needs no gating. *)
   take_checkpoint : seq:Types.seqno -> Digest.t;
       (** Record a checkpoint of the abstract state at [seq] and return its
           digest. *)
@@ -32,6 +48,10 @@ type app = {
           [digest] is the {e combined} checkpoint digest (see
           {!checkpoint_digest}). *)
 }
+
+val always_ready : client:int -> timestamp:int64 -> operation:string -> bool
+(** The trivial {!app.ready} gate: every request executes as soon as it
+    commits. *)
 
 (** Transport callbacks provided by the runtime. *)
 type net = {
@@ -81,6 +101,7 @@ val create :
   ?metrics:Base_obs.Metrics.t ->
   ?profile:Base_obs.Profile.t ->
   ?role:role ->
+  ?shard:int ->
   config:Types.config ->
   id:int ->
   keychain:Base_crypto.Auth.keychain ->
@@ -91,6 +112,13 @@ val create :
 (** A fresh replica in view 0 with an empty log.  The initial-state
     checkpoint (seq 0) is taken immediately.  [role] defaults to [Active];
     a [Standby] instance only processes CHECKPOINT messages.
+
+    [shard] (default 0) names the agreement instance this replica serves
+    when the object space is sharded (see {!Types.config.shard_bounds}):
+    the primary rotation is offset by it ({!Types.shard_primary}), every
+    outgoing envelope is tagged and MACed with it, and authenticated
+    messages tagged for a different shard are rejected as insane.  With the
+    default, wire traffic is byte-identical to an unsharded replica.
 
     [metrics] receives per-phase latency histograms
     ([bft.phase.{pre_prepare,prepare,commit,execute,total}_us] — each slot's
@@ -105,6 +133,9 @@ val create :
     instance, whose probe sites cost a branch. *)
 
 val id : t -> int
+
+val shard : t -> int
+(** The agreement instance this replica serves; 0 when unsharded. *)
 
 val role : t -> role
 
@@ -128,12 +159,13 @@ val receive : t -> Message.envelope -> unit
 (** Handle one authenticated protocol message (invalid MACs are counted and
     dropped). *)
 
-val receive_wire : t -> sender:int -> macs:string array -> string -> unit
+val receive_wire : ?shard:int -> t -> sender:int -> macs:string array -> string -> unit
 (** Handle a raw encoded message body as it would arrive off the wire.
     Malformed bytes are counted ([stats.rejected_decode], metrics counter
     [bft.reject.decode]) and dropped — a Byzantine sender can never crash a
     replica with garbage input.  Well-formed bodies go through {!receive}
-    and the usual MAC check. *)
+    and the usual MAC check.  [shard] (default 0) is the shard tag carried
+    alongside the wire bytes. *)
 
 val on_timer : t -> tag:string -> payload:int -> unit
 
@@ -187,3 +219,30 @@ val standby_note_synced : t -> seq:Types.seqno -> digest:Digest.t -> unit
     [digest]) and discard certificate tables below it, bounding the standby's
     memory over an arbitrarily long shadowing period.  No-op on an [Active]
     replica. *)
+
+(** {1 Cross-shard runtime hooks}
+
+    Used by the BASE runtime's deterministic two-phase cross-shard commit
+    (see [doc/sharding.md]); no-ops or inert in unsharded systems. *)
+
+val submit_internal : t -> Message.request -> unit
+(** Propose a runtime-injected internal request (a virtual
+    {!Types.internal_client} id, e.g. a cross-shard lock).  Only a
+    Normal-status primary accepts it;
+    callers re-submit on view change via their own retry timer.  Internal
+    requests execute through {!app.execute} like any other, but produce no
+    reply and skip client-table pending bookkeeping. *)
+
+val resume_execution : t -> unit
+(** Re-run the execution loop after an {!app.ready} gate opened (a parked
+    batch may now execute), then drain the primary's request queue. *)
+
+val add_external_pending : t -> unit
+(** Register a runtime-tracked obligation (a cross-shard lock held or
+    awaited) that must keep the view-change progress timer armed even when
+    no client request is pending — otherwise a faulty coordinator primary
+    could park a participant shard forever without triggering a view
+    change. *)
+
+val clear_external_pending : t -> unit
+(** Drop one obligation registered with {!add_external_pending}. *)

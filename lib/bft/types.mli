@@ -30,6 +30,11 @@ type config = {
   st_cache_objs : int;
       (** capacity of {!Base_core.Objrepo}'s digest-keyed leaf cache
           ([0] disables caching) *)
+  shard_bounds : int array;
+      (** oid-range -> shard map: strictly ascending exclusive upper bounds,
+          one per shard, so shard [k] owns oids [bounds.(k-1) .. bounds.(k)-1]
+          (shard 0 starts at oid 0).  [[||]] means a single unsharded
+          agreement instance owning the whole object space. *)
 }
 
 val make_config :
@@ -43,6 +48,7 @@ val make_config :
   ?st_chunk_bytes:int ->
   ?st_cache_objs:int ->
   ?standbys:int ->
+  ?shard_bounds:int array ->
   f:int ->
   n_clients:int ->
   unit ->
@@ -50,10 +56,48 @@ val make_config :
 (** Defaults: [checkpoint_period = 128], [log_window = 256],
     [client_timeout_us = 150_000], [viewchange_timeout_us = 500_000],
     [batch_max = 16], [max_inflight = 8], [st_window = 8],
-    [st_chunk_bytes = 4096], [st_cache_objs = 256], [standbys = 0]. *)
+    [st_chunk_bytes = 4096], [st_cache_objs = 256], [standbys = 0],
+    [shard_bounds = [||]] (unsharded).  Raises [Invalid_argument] when
+    [shard_bounds] is not strictly ascending positive. *)
 
 val primary : config -> view -> int
 (** The primary of a view: [view mod n]. *)
+
+(** {1 Shards}
+
+    The abstract object space can be partitioned into [S] shards, each an
+    independent agreement instance (own sequence space, checkpoints and view
+    changes) over the {e same} [3f+1] replicas.  Shard [k]'s primary in view
+    [v] is replica [(v + k) mod n], so concurrent shards are led by distinct
+    nodes and shard 0's rotation coincides with {!primary}. *)
+
+val n_shards : config -> int
+(** Number of shards; [1] when [shard_bounds] is empty. *)
+
+val shard_primary : config -> shard:int -> view -> int
+(** The node currently leading [shard]: [(view + shard) mod n].
+    [shard_primary ~shard:0] is {!primary}. *)
+
+val shard_of_oid : config -> int -> int
+(** The shard owning an abstract object id.  Oids at or beyond the last
+    bound are clamped into the last shard; unsharded configs return [0]. *)
+
+val shard_range : config -> n_objects:int -> int -> (int * int)
+(** [[lo, hi)] oid range owned by a shard of a service with [n_objects]
+    abstract objects.  The last shard absorbs any objects beyond the final
+    bound, matching {!shard_of_oid}'s clamping. *)
+
+val uniform_shards : shards:int -> n_objects:int -> int array
+(** An even [shard_bounds] split of [n_objects] oids into [shards] ranges
+    (the empty array for [shards <= 1]). *)
+
+val internal_client : shard:int -> int
+(** The virtual client id for runtime-injected internal requests of
+    [shard]'s coordinator (cross-shard locks).  Far above any real principal
+    id and non-negative, so it wire-encodes like any other client id. *)
+
+val is_internal_client : int -> bool
+(** Whether a client id names a virtual internal client. *)
 
 val replica_ids : config -> int list
 

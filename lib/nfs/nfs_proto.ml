@@ -41,6 +41,22 @@ let read_only_call = function
   | Setattr _ | Write _ | Create _ | Remove _ | Rename _ | Symlink _ | Mkdir _ | Rmdir _ ->
     false
 
+(* The static footprint sharded deployments route by: the slot indices named
+   in the call itself.  Rename is the one two-object call — its source and
+   destination directories may live in different shards.  Dynamically reached
+   slots (a Create's allocated slot, a Remove's child, a Rename overwrite
+   victim) are not statically knowable; the runtime constrains them to the
+   coordinating shard's range and aborts deterministically otherwise (see
+   doc/sharding.md). *)
+let footprint = function
+  | Getattr o | Setattr (o, _) | Lookup (o, _) | Readlink o
+  | Read (o, _, _) | Write (o, _, _)
+  | Create (o, _, _) | Remove (o, _)
+  | Symlink (o, _, _, _) | Mkdir (o, _, _) | Rmdir (o, _) | Readdir o -> [ o.index ]
+  | Rename (so, _, dd, _) ->
+    if so.index = dd.index then [ so.index ] else [ so.index; dd.index ]
+  | Statfs -> []
+
 (* --- encoders --------------------------------------------------------------- *)
 
 let enc_oid e (o : oid) =

@@ -39,6 +39,12 @@ type reply =
 val read_only_call : call -> bool
 (** Calls eligible for the replication library's read-only optimisation. *)
 
+val footprint : call -> int list
+(** The slot indices the call names statically — the shard-routing
+    footprint ({!Base_core.Service.wrapper}'s [oids_of_op]).  [Rename]
+    across two directories is the one two-element case; [Statfs] has no
+    anchor object and returns [[]]. *)
+
 val encode_call : call -> string
 
 val decode_call : string -> call

@@ -288,4 +288,8 @@ let make ?(max_skew_us = 5_000_000L) ~seed ~now ~n_objects () =
     check_nondet =
       (fun ~clock_us ~operation:_ ~nondet ->
         Service.default_check_nondet ~max_skew_us ~clock_us ~nondet);
+    (* Slots are reached through concrete tokens the client holds, not named
+       statically in the call, so the OODB declares no routing footprint and
+       always runs unsharded. *)
+    oids_of_op = Service.no_footprint;
   }

@@ -10,8 +10,14 @@ type action =
   | Delay_link of { src : int; dst : int; extra_us : int; for_us : int }
   | Drop_link of { src : int; dst : int; p : float; for_us : int }
   | Corrupt_link of { src : int; dst : int; p : float; for_us : int }
-  | Set_behavior of { node : int; behavior : behavior }
-  | Attack_pre_prepare of { node : int; mute_p : float; delay_us : int; for_us : int }
+  | Set_behavior of { node : int; behavior : behavior; shard : int option }
+  | Attack_pre_prepare of {
+      node : int;
+      mute_p : float;
+      delay_us : int;
+      for_us : int;
+      shard : int option;
+    }
 
 type event = { at_us : int; action : action }
 
@@ -82,6 +88,14 @@ let keyed key s =
     String.sub s (i + 1) (String.length s - i - 1)
   | _ -> bad "expected %s=..., got %S" key s
 
+(* Optional "shard=K" qualifier at the head of [toks]; omitted means the
+   fault targets the node across every shard. *)
+let shard_qualifier toks =
+  match toks with
+  | s :: rest when String.length s > 6 && String.equal (String.sub s 0 6) "shard=" ->
+    (Some (node_id (keyed "shard" s)), rest)
+  | _ -> (None, toks)
+
 let probability s =
   match float_of_string_opt s with
   | Some p when p >= 0.0 && p <= 1.0 -> p
@@ -119,17 +133,21 @@ let action_of_tokens = function
   | "corrupt" :: l :: p :: rest ->
     let src, dst = link l in
     Corrupt_link { src; dst; p = probability (keyed "p" p); for_us = window rest }
-  | [ "behavior"; n; b ] -> (
-    match behavior_of_name b with
-    | Some behavior -> Set_behavior { node = node_id n; behavior }
-    | None -> bad "unknown behavior %S (honest/mute/lie/equivocate)" b)
+  | "behavior" :: n :: b :: rest -> (
+    let shard, rest = shard_qualifier rest in
+    match (behavior_of_name b, rest) with
+    | Some behavior, [] -> Set_behavior { node = node_id n; behavior; shard }
+    | Some _, toks -> bad "unexpected tokens after behavior: %S" (String.concat " " toks)
+    | None, _ -> bad "unknown behavior %S (honest/mute/lie/equivocate)" b)
   | "attack-preprepare" :: n :: mute :: delay :: rest ->
+    let shard, rest = shard_qualifier rest in
     Attack_pre_prepare
       {
         node = node_id n;
         mute_p = probability (keyed "mute" mute);
         delay_us = duration_us (keyed "delay" delay);
         for_us = window rest;
+        shard;
       }
   | toks -> bad "unknown action %S" (String.concat " " toks)
 
@@ -160,6 +178,8 @@ let parse text =
 
 let endpoint_str e = if e = -1 then "*" else string_of_int e
 
+let shard_str = function Some k -> Printf.sprintf " shard=%d" k | None -> ""
+
 let ints xs = String.concat " " (List.map string_of_int xs)
 
 let action_to_string = function
@@ -177,11 +197,11 @@ let action_to_string = function
   | Corrupt_link { src; dst; p; for_us } ->
     Printf.sprintf "corrupt %s->%s p=%g for %dus" (endpoint_str src) (endpoint_str dst) p
       for_us
-  | Set_behavior { node; behavior } ->
-    Printf.sprintf "behavior %d %s" node (behavior_name behavior)
-  | Attack_pre_prepare { node; mute_p; delay_us; for_us } ->
-    Printf.sprintf "attack-preprepare %d mute=%g delay=%dus for %dus" node mute_p delay_us
-      for_us
+  | Set_behavior { node; behavior; shard } ->
+    Printf.sprintf "behavior %d %s%s" node (behavior_name behavior) (shard_str shard)
+  | Attack_pre_prepare { node; mute_p; delay_us; for_us; shard } ->
+    Printf.sprintf "attack-preprepare %d mute=%g delay=%dus%s for %dus" node mute_p delay_us
+      (shard_str shard) for_us
 
 let event_to_string ev = Printf.sprintf "at %dus %s" ev.at_us (action_to_string ev.action)
 

@@ -18,6 +18,7 @@
     at 1s drop *->2 p=0.3 for 500ms
     at 1s corrupt 1->* p=0.25 for 200ms
     at 1s behavior 0 equivocate
+    at 1s behavior 1 mute shard=1
     at 1s attack-preprepare 0 mute=0.5 delay=2ms for 1s
     v}
 
@@ -47,11 +48,23 @@ type action =
       (** add [extra_us] of delay on matching links for [for_us] *)
   | Drop_link of { src : int; dst : int; p : float; for_us : int }
   | Corrupt_link of { src : int; dst : int; p : float; for_us : int }
-  | Set_behavior of { node : int; behavior : behavior }
-  | Attack_pre_prepare of { node : int; mute_p : float; delay_us : int; for_us : int }
+  | Set_behavior of { node : int; behavior : behavior; shard : int option }
+      (** [shard]: when the object space is sharded, restrict the behaviour
+          to the node's replica cell for that one agreement instance
+          (["behavior 0 mute shard=1"]); [None] applies it across every
+          shard the node hosts *)
+  | Attack_pre_prepare of {
+      node : int;
+      mute_p : float;
+      delay_us : int;
+      for_us : int;
+      shard : int option;
+    }
       (** Byzantine primary: while the window is open, node [node] mutes
           each of its pre-prepares with probability [mute_p] and delays the
-          ones it does send by [delay_us]. *)
+          ones it does send by [delay_us].  [shard] restricts the attack to
+          pre-prepares of one agreement instance
+          (["attack-preprepare 0 mute=0.5 delay=2ms shard=1 for 1s"]). *)
 
 type event = { at_us : int; action : action }
 

@@ -1,0 +1,13 @@
+(* PRNG-free: both streams are pure functions of the arrival index, so the
+   exact same oid sequence replays against systems whose network consumes
+   engine randomness differently (different shard counts, batch sizes). *)
+
+let uniform ~n_objects i = i * 11 mod n_objects
+
+let hot_range ~n_objects = max 1 (n_objects / 8)
+
+let hotspot ?(hot_pct = 90) ~n_objects i =
+  let hot = hot_range ~n_objects in
+  if n_objects <= hot then uniform ~n_objects i
+  else if i * 13 mod 100 < hot_pct then i * 7 mod hot
+  else hot + (i * 11 mod (n_objects - hot))

@@ -109,14 +109,29 @@ let registers_wrapper ~n_objects slots : Service.wrapper =
        proposes nothing and backups accept exactly that. *)
     propose_nondet = (fun ~clock_us:_ ~operation:_ -> "");
     check_nondet = (fun ~clock_us:_ ~operation:_ ~nondet -> String.equal nondet "");
+    (* Both operations name their slot in the second field; that index is
+       the whole footprint, which makes the registers service the natural
+       conflict-free workload for the shard-scaling bench (E18). *)
+    oids_of_op =
+      (fun ~operation ->
+        match String.split_on_char ':' operation with
+        | [ "set"; i; _ ] | [ "get"; i ] -> (
+          match int_of_string_opt i with
+          | Some i when i >= 0 && i < n_objects -> [ i ]
+          | Some _ | None -> [])
+        | _ -> []);
   }
 
 let make_registers ?(seed = 1L) ?(f = 1) ?(checkpoint_period = 64) ?(n_objects = 64)
-    ?(n_clients = 1) ?drop_p ?batch_max ?max_inflight ?client_timeout_us
+    ?(n_clients = 1) ?(shards = 1) ?drop_p ?batch_max ?max_inflight ?client_timeout_us
     ?viewchange_timeout_us ?standbys ?profile () =
+  let shard_bounds =
+    if shards <= 1 then [||] else Types.uniform_shards ~shards ~n_objects
+  in
   let config =
-    Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ?batch_max
-      ?max_inflight ?client_timeout_us ?viewchange_timeout_us ?standbys ~f ~n_clients ()
+    Types.make_config ~checkpoint_period ~log_window:(2 * checkpoint_period) ~shard_bounds
+      ?batch_max ?max_inflight ?client_timeout_us ?viewchange_timeout_us ?standbys ~f
+      ~n_clients ()
   in
   let engine_config =
     let base =

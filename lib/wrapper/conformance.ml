@@ -792,4 +792,13 @@ let make ?(max_skew_us = 5_000_000L) ~server ~n_objects () =
     check_nondet =
       (fun ~clock_us ~operation:_ ~nondet ->
         Service.default_check_nondet ~max_skew_us ~clock_us ~nondet);
+    oids_of_op =
+      (* Routing must agree across clients and replicas, so the footprint is
+         a pure function of the encoded call; malformed operations carry no
+         routing information and fall to shard 0, where [execute] turns
+         them into EINVAL under that shard's order. *)
+      (fun ~operation ->
+        match Proto.decode_call operation with
+        | call -> Proto.footprint call
+        | exception Base_codec.Xdr.Decode_error _ -> []);
   }

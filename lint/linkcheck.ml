@@ -1,0 +1,189 @@
+(* Markdown link checker for the repository's documentation.
+
+   Scans the given markdown files for inline links [text](target) and
+   validates every repository-relative target: the file must exist, and a
+   #fragment must name a heading of the target file (GitHub anchor
+   slugging).  External schemes (http/https/mailto) are skipped — CI must
+   not depend on the network.  Exit 1 lists every dead link with its
+   file:line position.
+
+   Usage: linkcheck --root DIR FILE.md ... *)
+
+let root = ref "."
+
+let files = ref []
+
+(* --- markdown scanning ------------------------------------------------------ *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  String.split_on_char '\n' s
+
+(* GitHub's heading-anchor slug: lowercase, spaces to hyphens, keep only
+   alphanumerics, hyphens and underscores.  Inline code backticks and link
+   syntax inside the heading contribute their text only. *)
+let slug_of_heading h =
+  let b = Buffer.create (String.length h) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' -> Buffer.add_char b (Char.lowercase_ascii c)
+      | 'a' .. 'z' | '0' .. '9' | '_' | '-' -> Buffer.add_char b c
+      | ' ' -> Buffer.add_char b '-'
+      | _ -> ())
+    (String.trim h);
+  Buffer.contents b
+
+(* Strip markdown emphasis/code/link decoration from a heading before
+   slugging: "## The [map](x.md) of `lib/`" anchors as the-map-of-lib. *)
+let heading_text line =
+  let n = String.length line in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n && line.[!i] = '#' do
+    incr i
+  done;
+  let depth = !i in
+  while !i < n do
+    (match line.[!i] with
+    | '`' | '*' -> ()
+    | '[' -> ()
+    | ']' ->
+      (* Drop a following "(target)". *)
+      if !i + 1 < n && line.[!i + 1] = '(' then begin
+        let j = ref (!i + 2) in
+        while !j < n && line.[!j] <> ')' do
+          incr j
+        done;
+        i := !j
+      end
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  (depth, Buffer.contents b)
+
+let anchors_of_file path =
+  let anchors = Hashtbl.create 32 in
+  let in_code = ref false in
+  List.iter
+    (fun line ->
+      let t = String.trim line in
+      if String.length t >= 3 && String.sub t 0 3 = "```" then in_code := not !in_code
+      else if (not !in_code) && String.length t > 0 && t.[0] = '#' then begin
+        let depth, text = heading_text t in
+        if depth >= 1 && depth <= 6 then Hashtbl.replace anchors (slug_of_heading text) ()
+      end)
+    (read_lines path);
+  anchors
+
+(* Extract (target, column) pairs of inline links on one line.  A target is
+   the parenthesised part of [text](target); images ![alt](target) match
+   too.  Markdown's escape hatches (reference links, autolinks) are not
+   used in this repository's docs. *)
+let links_of_line line =
+  let n = String.length line in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (if line.[!i] = ']' && !i + 1 < n && line.[!i + 1] = '(' then begin
+       let j = ref (!i + 2) in
+       while !j < n && line.[!j] <> ')' && line.[!j] <> ' ' do
+         incr j
+       done;
+       if !j < n && line.[!j] = ')' then
+         acc := (String.sub line (!i + 2) (!j - !i - 2), !i + 2) :: !acc
+     end);
+    incr i
+  done;
+  List.rev !acc
+
+let is_external target =
+  let has_prefix p =
+    String.length target >= String.length p && String.sub target 0 (String.length p) = p
+  in
+  has_prefix "http://" || has_prefix "https://" || has_prefix "mailto:"
+
+(* --- checking ---------------------------------------------------------------- *)
+
+let errors = ref 0
+
+let err path line fmt =
+  incr errors;
+  Printf.ksprintf (fun s -> Printf.eprintf "%s:%d: %s\n" path line s) fmt
+
+let anchor_cache : (string, (string, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8
+
+let anchors path =
+  match Hashtbl.find_opt anchor_cache path with
+  | Some a -> a
+  | None ->
+    let a = anchors_of_file path in
+    Hashtbl.add anchor_cache path a;
+    a
+
+let check_file relpath =
+  let path = Filename.concat !root relpath in
+  let dir = Filename.dirname relpath in
+  let lineno = ref 0 in
+  let in_code = ref false in
+  List.iter
+    (fun line ->
+      incr lineno;
+      let t = String.trim line in
+      if String.length t >= 3 && String.sub t 0 3 = "```" then in_code := not !in_code
+      else if not !in_code then
+        List.iter
+          (fun (target, _col) ->
+            if not (is_external target || target = "") then begin
+              let file_part, frag =
+                match String.index_opt target '#' with
+                | Some i ->
+                  ( String.sub target 0 i,
+                    Some (String.sub target (i + 1) (String.length target - i - 1)) )
+                | None -> (target, None)
+              in
+              let resolved_rel =
+                if file_part = "" then relpath
+                else if Filename.is_relative file_part then Filename.concat dir file_part
+                else file_part
+              in
+              let resolved = Filename.concat !root resolved_rel in
+              if not (Sys.file_exists resolved) then
+                err relpath !lineno "dead link: %s (no such file %s)" target resolved_rel
+              else
+                match frag with
+                | None -> ()
+                | Some frag ->
+                  if Filename.check_suffix resolved ".md" then
+                    if not (Hashtbl.mem (anchors resolved) frag) then
+                      err relpath !lineno "dead anchor: %s (no heading #%s in %s)" target
+                        frag resolved_rel
+            end)
+          (links_of_line line))
+    (read_lines path)
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--root" :: dir :: rest ->
+      root := dir;
+      parse rest
+    | f :: rest ->
+      files := f :: !files;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
+  if files = [] then begin
+    prerr_endline "linkcheck: no files given";
+    exit 2
+  end;
+  List.iter check_file files;
+  if !errors > 0 then begin
+    Printf.eprintf "linkcheck: %d dead link(s)\n" !errors;
+    exit 1
+  end
+  else Printf.printf "linkcheck: %d file(s) clean\n" (List.length files)

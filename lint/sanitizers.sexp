@@ -37,8 +37,10 @@
 (source (module Message) (name decode_body))
 (source (module Xdr) (prefix read_))
 (source (module Replica) (name receive) (param 1))
-(source (module Replica) (name receive_wire) (param 2))
+; receive_wire is [?shard t ~sender ~macs raw]; the optional shard counts,
+; so the attacker-controlled params (macs, raw) are 3 and 4.
 (source (module Replica) (name receive_wire) (param 3))
+(source (module Replica) (name receive_wire) (param 4))
 (source (module Client) (name receive) (param 1))
 (source (module State_transfer) (name serve) (param 1))
 (source (module State_transfer) (name handle_reply) (param 2))

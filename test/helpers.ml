@@ -52,6 +52,7 @@ let kv_wrapper ?(n_objects = 8) () =
       check_nondet =
         (fun ~clock_us ~operation:_ ~nondet ->
           Service.default_check_nondet ~max_skew_us:2_000_000L ~clock_us ~nondet);
+      oids_of_op = Service.no_footprint;
     } )
 
 let make_system ?(seed = 1L) ?(f = 1) ?(n_clients = 1) ?(checkpoint_period = 16)

@@ -32,9 +32,18 @@ let test_grammar () =
        at 1s drop *->2 p=0.3 for 500ms\n\
        at 1s corrupt 1->* p=0.25 for 200ms\n\
        at 1s behavior 0 equivocate\n\
-       at 1s attack-preprepare 0 mute=0.5 delay=2ms for 1s\n"
+       at 1s behavior 1 mute shard=1\n\
+       at 1s attack-preprepare 0 mute=0.5 delay=2ms for 1s\n\
+       at 1s attack-preprepare 0 mute=0.5 delay=2ms shard=2 for 1s\n"
   in
-  Alcotest.(check int) "events parsed" 11 (List.length plan);
+  Alcotest.(check int) "events parsed" 13 (List.length plan);
+  (match List.nth plan 10 with
+  | { Faultplan.action = Faultplan.Set_behavior { node = 1; behavior = Faultplan.B_mute; shard = Some 1 }; _ } ->
+    ()
+  | _ -> Alcotest.fail "shard-qualified behavior mis-parsed");
+  (match List.nth plan 12 with
+  | { Faultplan.action = Faultplan.Attack_pre_prepare { shard = Some 2; _ }; _ } -> ()
+  | _ -> Alcotest.fail "shard-qualified attack-preprepare mis-parsed");
   (match List.nth plan 0 with
   | { Faultplan.at_us = 500_000; action = Faultplan.Crash 0 } -> ()
   | _ -> Alcotest.fail "first event should be crash 0 at 500ms");
@@ -109,14 +118,16 @@ let gen_action =
       Gen.map3
         (fun (src, dst) p for_us -> Faultplan.Corrupt_link { src; dst; p; for_us })
         (Gen.pair gen_endpoint gen_endpoint) gen_prob gen_duration;
-      Gen.map2
-        (fun node behavior -> Faultplan.Set_behavior { node; behavior })
-        (Gen.int_bound 6) gen_behavior;
       Gen.map3
-        (fun (node, mute_p) delay_us for_us ->
-          Faultplan.Attack_pre_prepare { node; mute_p; delay_us; for_us })
+        (fun node behavior shard -> Faultplan.Set_behavior { node; behavior; shard })
+        (Gen.int_bound 6) gen_behavior
+        (Gen.opt (Gen.int_bound 3));
+      Gen.map3
+        (fun (node, mute_p) (delay_us, shard) for_us ->
+          Faultplan.Attack_pre_prepare { node; mute_p; delay_us; for_us; shard })
         (Gen.pair (Gen.int_bound 6) gen_prob)
-        gen_duration gen_duration;
+        (Gen.pair gen_duration (Gen.opt (Gen.int_bound 3)))
+        gen_duration;
     ]
 
 let gen_plan =

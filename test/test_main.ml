@@ -29,6 +29,8 @@ let () =
       ("recovery", Test_recovery.suite);
       ("standby", Test_standby.suite);
       ("workload", Test_workload.suite);
+      ("sharding", Test_sharding.suite);
+      ("cross-shard", Test_xshard.suite);
       ("safety-sweep", Test_safety_sweep.suite);
       ("stress-combo", Test_stress_combo.suite);
       ("basefs", Test_basefs.suite);

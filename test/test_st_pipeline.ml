@@ -22,6 +22,7 @@ let synthetic ?(n_objects = 64) ?(obj_bytes = 64) ?cache_objs ~seed () =
       restart = (fun () -> ());
       propose_nondet = (fun ~clock_us:_ ~operation:_ -> "");
       check_nondet = (fun ~clock_us:_ ~operation:_ ~nondet:_ -> true);
+      oids_of_op = Service.no_footprint;
     }
   in
   (store, Objrepo.create ?cache_objs ~wrapper ~branching:8 ())

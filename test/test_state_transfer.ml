@@ -26,6 +26,7 @@ let synthetic ~seed =
       restart = (fun () -> ());
       propose_nondet = (fun ~clock_us:_ ~operation:_ -> "");
       check_nondet = (fun ~clock_us:_ ~operation:_ ~nondet:_ -> true);
+      oids_of_op = Service.no_footprint;
     }
   in
   (store, Objrepo.create ~wrapper ~branching:8 ())
